@@ -1,0 +1,68 @@
+"""Fig. 7: GAT on the papers analog — the scheme generalizes across architectures.
+
+The paper trains a 2-head GAT on papers100M with 64-256 trainers and observes
+up to 39% improvement on CPU and 15% on GPU (eviction adds a few points on
+CPU; the GPU variant can fail to improve when attention compute saturates
+memory and overlap collapses).  The benchmark reproduces the CPU/GPU contrast
+on the scaled papers analog.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_dataset, run_pair, save_table
+from repro.core.config import PrefetchConfig
+
+PREFETCH = PrefetchConfig(halo_fraction=0.35, gamma=0.995, delta=16)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_gat_papers(benchmark, bench_scale, bench_epochs):
+    dataset = bench_dataset("papers", scale=min(bench_scale, 0.15), seed=4)
+
+    def run_both_backends():
+        out = {}
+        for backend in ("cpu", "gpu"):
+            out[backend] = run_pair(
+                dataset, 2, backend, max(1, bench_epochs - 1), PREFETCH,
+                arch="gat", num_heads=2, include_no_eviction=True, seed=4,
+            )
+        return out
+
+    results = benchmark.pedantic(run_both_backends, rounds=1, iterations=1)
+
+    rows = []
+    for backend, reports in results.items():
+        base, noev, evict = reports["baseline"], reports["prefetch_no_evict"], reports["prefetch"]
+        rows.append(
+            [
+                backend,
+                round(base.total_simulated_time_s, 4),
+                round(noev.total_simulated_time_s, 4),
+                round(evict.total_simulated_time_s, 4),
+                round(noev.improvement_percent_vs(base), 1),
+                round(evict.improvement_percent_vs(base), 1),
+                round(evict.hit_rate, 3),
+                round(evict.overlap_efficiency, 3),
+            ]
+        )
+    save_table(
+        "fig7_gat_papers",
+        ["backend", "baseline s", "prefetch s", "prefetch+evict s",
+         "improv% (no evict)", "improv% (evict)", "hit rate", "overlap eff"],
+        rows,
+        notes=(
+            "Fig. 7 analog: 2-head GAT on the papers analog.\n"
+            "Paper shape: prefetching still helps a heavier architecture on both backends.\n"
+            "Known deviation: the paper's GAT-GPU runs were memory-constrained (only 2 heads fit),\n"
+            "which collapsed their overlap; the simulated GPU has no such memory wall, so its\n"
+            "relative gain is not suppressed here (see EXPERIMENTS.md)."
+        ),
+    )
+
+    cpu_improv = results["cpu"]["prefetch"].improvement_percent_vs(results["cpu"]["baseline"])
+    gpu_improv = results["gpu"]["prefetch"].improvement_percent_vs(results["gpu"]["baseline"])
+    # The scheme must generalize to GAT: positive improvement on both backends.
+    assert cpu_improv > 0.0
+    assert gpu_improv > 0.0

@@ -1,0 +1,61 @@
+"""Fig. 9: component-wise training time breakdown and overlap efficiency.
+
+The paper breaks each trainer's time into sampling, feature movement, score
+maintenance, eviction, and DDP training, and reports that CPU training hides
+the entire minibatch preparation behind computation (100% overlap) whereas GPU
+training reaches only 60-70% overlap.  This benchmark reports the same
+per-component averages and the overlap efficiency for products and papers on
+both backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_dataset, run_pair, save_table
+from repro.core.config import PrefetchConfig
+
+PREFETCH = PrefetchConfig(halo_fraction=0.35, gamma=0.995, delta=16)
+COMPONENTS = ("sampling", "lookup", "scoring", "eviction", "rpc", "copy", "ddp", "allreduce")
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_component_breakdown(benchmark, bench_scale, bench_epochs):
+    datasets = {
+        "products": bench_dataset("products", scale=bench_scale, seed=6),
+        "papers": bench_dataset("papers", scale=min(bench_scale, 0.15), seed=6),
+    }
+
+    def run_all():
+        out = {}
+        for name, ds in datasets.items():
+            for backend in ("cpu", "gpu"):
+                out[(name, backend)] = run_pair(ds, 2, backend, bench_epochs, PREFETCH, seed=6)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    overlaps = {}
+    for (name, backend), reports in results.items():
+        prefetch = reports["prefetch"]
+        breakdown = prefetch.component_breakdown
+        total = sum(breakdown.get(c, 0.0) for c in COMPONENTS) or 1.0
+        row = [name, backend]
+        row.extend(round(100.0 * breakdown.get(c, 0.0) / total, 1) for c in COMPONENTS)
+        row.append(round(prefetch.overlap_efficiency, 3))
+        rows.append(row)
+        overlaps[(name, backend)] = prefetch.overlap_efficiency
+    save_table(
+        "fig9_component_breakdown",
+        ["dataset", "backend"] + [f"{c}%" for c in COMPONENTS] + ["overlap eff"],
+        rows,
+        notes=(
+            "Fig. 9 analog: per-component share of raw (un-overlapped) training time with prefetching,\n"
+            "plus overlap efficiency. Paper shape: CPU ~100% overlap, GPU 60-70%."
+        ),
+    )
+
+    # Shape check: CPU overlap efficiency >= GPU overlap efficiency per dataset.
+    for name in datasets:
+        assert overlaps[(name, "cpu")] >= overlaps[(name, "gpu")] - 0.05

@@ -1,0 +1,70 @@
+"""Performance-model validation: Eqs. 2-7 vs. the simulated execution.
+
+Not a figure in the paper, but the analytical model of Section IV-C underpins
+every claim about when prefetching helps.  This benchmark extracts the average
+per-step component times from the simulated baseline run, feeds them through
+the model, and compares the predicted speedup against the speedup the
+simulated prefetch run actually achieved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import bench_dataset, run_pair, save_table
+from repro.core.config import PrefetchConfig
+from repro.perf.model import (
+    components_from_breakdown,
+    improvement_factor,
+    overlap_efficiency,
+    predicted_speedup,
+)
+
+PREFETCH = PrefetchConfig(halo_fraction=0.35, gamma=0.995, delta=16)
+
+
+@pytest.mark.benchmark(group="perfmodel")
+def test_performance_model_vs_simulation(benchmark, bench_scale, bench_epochs):
+    datasets = {
+        "arxiv": bench_dataset("arxiv", scale=bench_scale, seed=14),
+        "products": bench_dataset("products", scale=bench_scale, seed=14),
+    }
+
+    def run_all():
+        return {
+            (name, backend): run_pair(ds, 2, backend, bench_epochs, PREFETCH, seed=14)
+            for name, ds in datasets.items()
+            for backend in ("cpu", "gpu")
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for (name, backend), reports in results.items():
+        base, prefetch = reports["baseline"], reports["prefetch"]
+        steps = max(1, base.num_minibatches // base.world_size)
+        comps = components_from_breakdown(base.component_breakdown, steps)
+        predicted = predicted_speedup(comps, num_steps=steps)
+        measured = prefetch.speedup_vs(base)
+        rows.append(
+            [name, backend, round(comps.t_rpc / max(comps.t_ddp, 1e-12), 3),
+             round(improvement_factor(comps), 3), round(predicted, 3), round(measured, 3),
+             round(overlap_efficiency(comps), 3), round(prefetch.overlap_efficiency, 3)]
+        )
+    save_table(
+        "perfmodel_validation",
+        ["dataset", "backend", "t_RPC/t_DDP", "Eq.6 bound", "predicted speedup",
+         "measured speedup", "model overlap eff", "measured overlap eff"],
+        rows,
+        notes=(
+            "Analytical model (Eqs. 2-6) vs. simulated execution.\n"
+            "Expected: measured speedups track the model's predictions and never exceed the Eq. 6 bound by much."
+        ),
+    )
+
+    for row in rows:
+        predicted, measured = row[4], row[5]
+        # The measured speedup should track the analytical prediction and stay
+        # below the Eq. 6 upper bound (plus slack for the first-step cost).
+        assert measured <= row[3] * 1.5 + 0.5
+        assert measured == pytest.approx(predicted, rel=0.5)

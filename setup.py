@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The offline environment this repository targets has no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) are not available.  Keeping a
+``setup.py`` allows the legacy editable install path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""MassiveGNN reproduction: prefetching and eviction for distributed GNN training.
+
+This package reproduces *MassiveGNN: Efficient Training via Prefetching for
+Massively Connected Distributed Graphs* (CLUSTER 2024) in pure Python/NumPy:
+
+* :mod:`repro.core` — the paper's contribution: the parameterized continuous
+  prefetch-and-eviction scheme (buffer, scoreboards, eviction policies);
+* :mod:`repro.graph` — CSR graphs, synthetic OGB-style datasets, METIS-like
+  partitioning, halo construction;
+* :mod:`repro.sampling` — fan-out neighbor sampling and distributed data loading;
+* :mod:`repro.distributed` — the DistDGL-like substrate (KVStore, RPC with a
+  cost model, simulated cluster, DDP allreduce);
+* :mod:`repro.nn` — NumPy GraphSAGE and GAT with manual backprop;
+* :mod:`repro.training` — baseline and prefetch-enabled training pipelines,
+  sweeps, memory profiling;
+* :mod:`repro.perf` — the analytical performance model (Eqs. 2–7) and the
+  (γ, Δ) trade-off analysis.
+
+Quickstart::
+
+    from repro import load_dataset, ClusterConfig, TrainConfig, PrefetchConfig
+    from repro.training import compare_baseline_and_prefetch
+
+    dataset = load_dataset("products", scale=0.25, seed=0)
+    baseline, prefetch = compare_baseline_and_prefetch(
+        dataset,
+        prefetch_config=PrefetchConfig(halo_fraction=0.25, gamma=0.995, delta=64),
+        cluster_config=ClusterConfig(num_machines=2, trainers_per_machine=2, batch_size=256),
+        train_config=TrainConfig(epochs=3),
+    )
+    print("improvement %:", prefetch.improvement_percent_vs(baseline))
+"""
+
+from repro.core import PrefetchConfig, Prefetcher
+from repro.distributed import ClusterConfig, CostModel, SimCluster
+from repro.graph import GraphDataset, available_datasets, load_dataset
+from repro.training import (
+    TrainConfig,
+    TrainingReport,
+    compare_baseline_and_prefetch,
+    train_baseline,
+    train_massive,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrefetchConfig",
+    "Prefetcher",
+    "ClusterConfig",
+    "CostModel",
+    "SimCluster",
+    "GraphDataset",
+    "available_datasets",
+    "load_dataset",
+    "TrainConfig",
+    "TrainingReport",
+    "compare_baseline_and_prefetch",
+    "train_baseline",
+    "train_massive",
+    "__version__",
+]

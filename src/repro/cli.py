@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registered dataset analogs and their Table II statistics.
+``experiments``
+    List every paper table/figure, the benchmark that regenerates it, and the
+    modules involved (the DESIGN.md experiment index, from code).
+``run``
+    Train baseline and/or prefetch pipelines on one dataset and print a
+    Fig. 6-style comparison; optionally save JSON traces.
+``sweep``
+    Grid-search (f_h, γ, Δ) and print the Table IV-style optimum.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro import viz
+from repro.core.config import PrefetchConfig
+from repro.distributed.cluster import ClusterConfig, SimCluster
+from repro.distributed.cost_model import CostModel
+from repro.graph.datasets import available_datasets, load_dataset
+from repro.training.config import TrainConfig
+from repro.training.engine import TrainingEngine
+from repro.training.sweep import find_optimal, run_parameter_sweep
+from repro.training.trace import list_experiments, save_trace
+from repro.utils.logging_utils import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MassiveGNN reproduction: prefetch/eviction for distributed GNN training",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset analogs and their statistics")
+    sub.add_parser("experiments", help="list the paper's tables/figures and their bench targets")
+
+    run = sub.add_parser("run", help="train baseline and/or prefetch pipelines")
+    run.add_argument("--dataset", default="products", choices=available_datasets())
+    run.add_argument("--scale", type=float, default=0.25, help="dataset scale multiplier")
+    run.add_argument("--mode", default="both", choices=["baseline", "prefetch", "both"])
+    run.add_argument("--backend", default="cpu", choices=["cpu", "gpu"])
+    run.add_argument("--machines", type=int, default=2)
+    run.add_argument("--trainers-per-machine", type=int, default=2)
+    run.add_argument("--batch-size", type=int, default=128)
+    run.add_argument("--fanouts", type=int, nargs="+", default=[10, 25])
+    run.add_argument("--epochs", type=int, default=3)
+    run.add_argument("--arch", default="sage", choices=["sage", "gat"])
+    run.add_argument("--hidden-dim", type=int, default=64)
+    run.add_argument("--halo-fraction", type=float, default=0.35)
+    run.add_argument("--gamma", type=float, default=0.995)
+    run.add_argument("--delta", type=int, default=16)
+    run.add_argument("--no-eviction", action="store_true")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--evaluate", action="store_true", help="score validation/test accuracy")
+    run.add_argument("--trace-dir", type=Path, default=None, help="write JSON traces here")
+
+    sweep = sub.add_parser("sweep", help="grid-search the prefetch parameters")
+    sweep.add_argument("--dataset", default="products", choices=available_datasets())
+    sweep.add_argument("--scale", type=float, default=0.25)
+    sweep.add_argument("--backend", default="cpu", choices=["cpu", "gpu"])
+    sweep.add_argument("--machines", type=int, default=2)
+    sweep.add_argument("--batch-size", type=int, default=128)
+    sweep.add_argument("--epochs", type=int, default=2)
+    sweep.add_argument("--halo-fractions", type=float, nargs="+", default=[0.15, 0.35, 0.5])
+    sweep.add_argument("--gammas", type=float, nargs="+", default=[0.95, 0.995])
+    sweep.add_argument("--deltas", type=int, nargs="+", default=[8, 64])
+    sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_datasets() -> int:
+    rows = []
+    for name in available_datasets():
+        dataset = load_dataset(name, scale=0.1, seed=0)
+        stats = dataset.summary()
+        spec = dataset.spec
+        rows.append(
+            [name, spec.paper_num_nodes or "-", spec.paper_num_edges or "-",
+             int(stats["num_nodes"]), int(stats["num_edges"]),
+             int(stats["feature_dim"]), int(stats["num_classes"]), round(stats["avg_degree"], 1)]
+        )
+    print(format_table(
+        ["dataset", "paper |V|", "paper |E|", "analog |V| (scale=0.1)", "analog |E|",
+         "feat dim", "classes", "avg deg"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_experiments() -> int:
+    rows = [
+        [spec.experiment_id, spec.paper_reference, spec.description, spec.bench_target]
+        for spec in list_experiments()
+    ]
+    print(format_table(["id", "paper", "description", "bench target"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    cluster = SimCluster(
+        dataset,
+        ClusterConfig(
+            num_machines=args.machines,
+            trainers_per_machine=args.trainers_per_machine,
+            batch_size=args.batch_size,
+            fanouts=tuple(args.fanouts),
+            backend=args.backend,
+            seed=args.seed,
+        ),
+        cost_model=CostModel.preset(args.backend),
+    )
+    engine = TrainingEngine(
+        cluster,
+        TrainConfig(
+            epochs=args.epochs, arch=args.arch, hidden_dim=args.hidden_dim,
+            evaluate=args.evaluate, seed=args.seed,
+        ),
+    )
+    prefetch_config = PrefetchConfig(
+        halo_fraction=args.halo_fraction, gamma=args.gamma, delta=args.delta,
+        eviction_enabled=not args.no_eviction,
+    )
+
+    baseline = prefetch = None
+    if args.mode in ("baseline", "both"):
+        baseline = engine.run_baseline()
+        print(f"[baseline] simulated time {baseline.total_simulated_time_s:.4f}s, "
+              f"train acc {baseline.final_train_accuracy:.3f}")
+    if args.mode in ("prefetch", "both"):
+        prefetch = engine.run_prefetch(prefetch_config)
+        print(f"[prefetch] simulated time {prefetch.total_simulated_time_s:.4f}s, "
+              f"train acc {prefetch.final_train_accuracy:.3f}, hit rate {prefetch.hit_rate:.3f}")
+    if baseline is not None and prefetch is not None:
+        print("\n" + viz.comparison_summary(baseline, prefetch))
+        print("\nPrefetch-pipeline component shares:")
+        print(viz.stacked_breakdown({
+            k: v for k, v in prefetch.component_breakdown.items()
+            if k in ("sampling", "lookup", "scoring", "eviction", "rpc", "copy", "ddp", "allreduce")
+        }))
+
+    if args.trace_dir is not None:
+        metadata = {"dataset": args.dataset, "scale": args.scale, "backend": args.backend}
+        if baseline is not None:
+            save_trace(baseline, args.trace_dir / "baseline.json", metadata)
+        if prefetch is not None:
+            save_trace(prefetch, args.trace_dir / "prefetch.json", metadata)
+        print(f"\ntraces written to {args.trace_dir}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    sweep = run_parameter_sweep(
+        dataset,
+        cluster_config=ClusterConfig(
+            num_machines=args.machines, trainers_per_machine=2,
+            batch_size=args.batch_size, fanouts=(5, 10),
+            backend=args.backend, seed=args.seed,
+        ),
+        train_config=TrainConfig(epochs=args.epochs, hidden_dim=32, seed=args.seed),
+        halo_fractions=tuple(args.halo_fractions),
+        gammas=tuple(args.gammas),
+        deltas=tuple(args.deltas),
+    )
+    rows = [
+        [p.halo_fraction, p.gamma, p.delta, round(p.total_time_s, 4),
+         round(p.hit_rate, 3), round(p.improvement_percent, 1)]
+        for p in sweep.points
+    ]
+    print(format_table(["f_h", "gamma", "delta", "time s", "hit rate", "improvement %"], rows))
+    best = find_optimal(sweep)
+    print(
+        f"\noptimal: f_h={best['halo_fraction']}, gamma={best['gamma']}, delta={int(best['delta'])} "
+        f"-> {best['improvement_percent']:.1f}% improvement, hit rate {best['hit_rate']:.3f}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "experiments":
+        return _cmd_experiments()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

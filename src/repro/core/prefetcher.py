@@ -1,0 +1,374 @@
+"""The MassiveGNN prefetcher (Algorithms 1 & 2 of the paper).
+
+One :class:`Prefetcher` exists per trainer PE.  Its job during training is:
+
+1. **Initialization** (``INITIALIZE_PREFETCHER``): select the top ``f_h``
+   percent of the partition's halo nodes by degree, pull their features over
+   RPC once, and place them in a fixed-capacity :class:`PrefetchBuffer`.
+   Eviction scores ``S_E`` start at 1 for buffered nodes; access scores
+   ``S_A`` start at −1 for buffered nodes and 0 for the remaining halo nodes.
+
+2. **Per minibatch** (``PREFETCH_WITH_EVICTION``): split the sampled halo
+   nodes into buffer *hits* (served locally, no RPC) and *misses* (fetched
+   over RPC).  Unsampled buffer slots have their ``S_E`` decayed by γ; missed
+   nodes have their ``S_A`` incremented.  Every Δ steps an eviction round
+   replaces the slots whose ``S_E`` fell below α with the highest-``S_A``
+   (degree tie-broken) missed nodes, swapping the scores of the evicted and
+   replacement nodes as described in Section IV-B.
+
+The prefetcher returns, for every step, both the assembled halo features and
+the *operation counts* (lookups, score updates, nodes fetched, slots replaced)
+that the training engine converts into simulated time via the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.buffer import PrefetchBuffer
+from repro.core.config import PrefetchConfig
+from repro.core.eviction import EvictionPolicy, ScoreThresholdPolicy
+from repro.core.metrics import HitRateTracker, PrefetchCounters
+from repro.core.scoreboard import EvictionScores, make_access_scoreboard
+from repro.distributed.rpc import RPCChannel
+from repro.graph.halo import GraphPartition
+from repro.utils.validation import check_1d_int_array
+
+
+@dataclass
+class PrefetchInitReport:
+    """Outcome of buffer initialization (Fig. 8's one-time cost)."""
+
+    num_prefetched: int
+    buffer_capacity: int
+    rpc_time_s: float
+    bytes_fetched: int
+    buffer_nbytes: int
+    scoreboard_nbytes: int
+    num_halo_nodes: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_prefetched": float(self.num_prefetched),
+            "buffer_capacity": float(self.buffer_capacity),
+            "rpc_time_s": self.rpc_time_s,
+            "bytes_fetched": float(self.bytes_fetched),
+            "buffer_nbytes": float(self.buffer_nbytes),
+            "scoreboard_nbytes": float(self.scoreboard_nbytes),
+            "num_halo_nodes": float(self.num_halo_nodes),
+        }
+
+
+@dataclass
+class PrefetchStepResult:
+    """Per-minibatch outcome of ``PREFETCH_WITH_EVICTION``."""
+
+    features: np.ndarray                 # rows aligned with the requested halo ids
+    num_requested: int
+    num_hits: int
+    num_misses: int
+    rpc_time_s: float                    # simulated time of this step's remote pulls
+    remote_nodes_fetched: int            # misses + replacement fetches this step
+    lookup_nodes: int                    # membership tests performed
+    scoring_nodes: int                   # S_E decays + S_A increments performed
+    eviction_round: bool = False
+    nodes_evicted: int = 0
+    nodes_replaced: int = 0
+    buffer_capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.num_hits + self.num_misses
+        return self.num_hits / total if total else 0.0
+
+
+class Prefetcher:
+    """Continuous prefetch-and-eviction manager for one trainer."""
+
+    def __init__(
+        self,
+        partition: GraphPartition,
+        config: PrefetchConfig,
+        rpc: RPCChannel,
+        num_global_nodes: int,
+        global_degrees: Optional[np.ndarray] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ):
+        self.partition = partition
+        self.config = config
+        self.rpc = rpc
+        self.num_global_nodes = int(num_global_nodes)
+        self.eviction_policy = eviction_policy or ScoreThresholdPolicy()
+        # Degrees indexed by global id (needed for init and replacement ties).
+        if global_degrees is not None:
+            self._global_degrees = np.asarray(global_degrees, dtype=np.int64)
+        else:
+            degrees = np.zeros(num_global_nodes, dtype=np.int64)
+            degrees[partition.local_to_global] = partition.global_degrees
+            self._global_degrees = degrees
+
+        self.buffer: Optional[PrefetchBuffer] = None
+        self.eviction_scores: Optional[EvictionScores] = None
+        self.access_scores = None
+        self._last_hit_step: Optional[np.ndarray] = None
+        self.tracker = HitRateTracker()
+        self.counters = PrefetchCounters()
+        self._initialized = False
+
+    # ------------------------------------------------------------------ #
+    # Initialization (Algorithm 1, INITIALIZE_PREFETCHER)
+    # ------------------------------------------------------------------ #
+    def initialize(self) -> PrefetchInitReport:
+        """Populate the buffer with the highest-degree halo nodes (one-time RPC)."""
+        halo = self.partition.halo_global
+        capacity = self.config.buffer_capacity(len(halo))
+        feature_dim = self.rpc.servers[self.rpc.local_part].feature_dim
+
+        if len(halo) == 0 or capacity == 0:
+            self.buffer = PrefetchBuffer.empty(feature_dim)
+            self.eviction_scores = EvictionScores(0, self.config.initial_eviction_score)
+            self.access_scores = make_access_scoreboard(
+                self.config.scoreboard, self.num_global_nodes, halo
+            )
+            self._last_hit_step = np.zeros(0, dtype=np.int64)
+            self._initialized = True
+            return PrefetchInitReport(
+                num_prefetched=0,
+                buffer_capacity=0,
+                rpc_time_s=0.0,
+                bytes_fetched=0,
+                buffer_nbytes=self.buffer.nbytes(),
+                scoreboard_nbytes=self.access_scores.nbytes(),
+                num_halo_nodes=0,
+            )
+
+        halo_degrees = self._global_degrees[halo]
+        order = np.argsort(-halo_degrees, kind="stable")
+        selected = np.sort(halo[order[:capacity]])
+
+        owners = self.partition.halo_owner[np.searchsorted(self.partition.halo_global, selected)]
+        rows, rpc_time, delta = self.rpc.remote_pull(selected, owners)
+
+        self.buffer = PrefetchBuffer(selected, rows)
+        self.eviction_scores = EvictionScores(capacity, self.config.initial_eviction_score)
+        self.access_scores = make_access_scoreboard(
+            self.config.scoreboard, self.num_global_nodes, halo
+        )
+        # S_A = -1 for buffered nodes, 0 for the remaining halo nodes.
+        self.access_scores.set(selected, np.full(len(selected), -1.0))
+        self._last_hit_step = np.zeros(capacity, dtype=np.int64)
+        self.counters.remote_nodes_at_init = int(len(selected))
+        self.counters.remote_nodes_fetched += int(len(selected))
+        self._initialized = True
+        return PrefetchInitReport(
+            num_prefetched=int(len(selected)),
+            buffer_capacity=capacity,
+            rpc_time_s=rpc_time,
+            bytes_fetched=delta.bytes_fetched,
+            buffer_nbytes=self.buffer.nbytes(),
+            scoreboard_nbytes=self.access_scores.nbytes() + self.eviction_scores.nbytes(),
+            num_halo_nodes=int(len(halo)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-minibatch processing (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def process_minibatch(self, halo_global_ids: np.ndarray, step: int) -> PrefetchStepResult:
+        """Serve the sampled halo nodes of one minibatch.
+
+        ``halo_global_ids`` are the remotely owned nodes the sampler returned
+        for this minibatch (``V_p^{h|s}`` in Algorithm 2); the result's
+        ``features`` rows align with the input order.
+        """
+        self._require_initialized()
+        halo_global_ids = check_1d_int_array(halo_global_ids, "halo_global_ids")
+        feature_dim = self.buffer.feature_dim
+        features = np.zeros((len(halo_global_ids), feature_dim), dtype=np.float32)
+
+        hit_mask, slots = self.buffer.lookup(halo_global_ids)
+        hit_rows = np.nonzero(hit_mask)[0]
+        miss_rows = np.nonzero(~hit_mask)[0]
+        hits_ids = halo_global_ids[hit_rows]
+        miss_ids = halo_global_ids[miss_rows]
+
+        if len(hit_rows):
+            features[hit_rows] = self.buffer.get_features(slots[hit_rows])
+            self._last_hit_step[slots[hit_rows]] = step
+
+        # Decay S_E of buffer slots whose nodes were not sampled this step.
+        sampled_in_buffer = np.zeros(self.buffer.capacity, dtype=bool)
+        if len(hit_rows):
+            sampled_in_buffer[slots[hit_rows]] = True
+        unused_mask = ~sampled_in_buffer
+        self.eviction_scores.decay(unused_mask, self.config.gamma)
+
+        scoring_nodes = int(unused_mask.sum())
+        lookup_nodes = int(len(halo_global_ids)) + self.buffer.capacity
+        rpc_time = 0.0
+        remote_fetched = 0
+        eviction_round = False
+        nodes_evicted = 0
+        nodes_replaced = 0
+
+        is_eviction_step = (
+            self.config.eviction_enabled
+            and self.buffer.capacity > 0
+            and step > 0
+            and step % self.config.delta == 0
+        )
+
+        if is_eviction_step:
+            eviction_round = True
+            self.counters.eviction_rounds += 1
+            # Misses still update S_A before the eviction assessment so fresh
+            # demand influences the replacement choice.
+            if len(miss_ids):
+                unique_miss, miss_counts = np.unique(miss_ids, return_counts=True)
+                self._increment_access(unique_miss, miss_counts)
+                scoring_nodes += len(unique_miss)
+            evict_slots, replacement_ids = self._plan_eviction(step)
+            nodes_evicted = len(evict_slots)
+            nodes_replaced = len(replacement_ids)
+            fetch_ids = np.union1d(np.unique(miss_ids), replacement_ids)
+            if len(fetch_ids):
+                rows, rpc_time, _ = self._fetch_remote(fetch_ids)
+                remote_fetched = len(fetch_ids)
+                row_of = {int(g): i for i, g in enumerate(fetch_ids)}
+                if len(miss_rows):
+                    miss_positions = np.array([row_of[int(g)] for g in miss_ids], dtype=np.int64)
+                    features[miss_rows] = rows[miss_positions]
+                if len(replacement_ids):
+                    repl_positions = np.array(
+                        [row_of[int(g)] for g in replacement_ids], dtype=np.int64
+                    )
+                    self._apply_eviction(evict_slots, replacement_ids, rows[repl_positions], step)
+            elif len(evict_slots):
+                # Nothing to fetch (no misses, no replacements) — nothing to do.
+                pass
+            self.counters.remote_nodes_for_misses += int(len(np.unique(miss_ids)))
+            self.counters.remote_nodes_for_replacement += int(nodes_replaced)
+        else:
+            if len(miss_ids):
+                unique_miss, miss_counts = np.unique(miss_ids, return_counts=True)
+                self._increment_access(unique_miss, miss_counts)
+                scoring_nodes += len(unique_miss)
+                rows, rpc_time, _ = self._fetch_remote(unique_miss)
+                remote_fetched = len(unique_miss)
+                pos = np.searchsorted(unique_miss, miss_ids)
+                features[miss_rows] = rows[pos]
+                self.counters.remote_nodes_for_misses += int(len(unique_miss))
+
+        self.counters.remote_nodes_fetched += int(remote_fetched)
+        self.counters.nodes_evicted += int(nodes_evicted)
+        self.counters.halo_nodes_sampled += int(len(halo_global_ids))
+        self.tracker.record(len(hit_rows), len(miss_rows), eviction=eviction_round)
+
+        return PrefetchStepResult(
+            features=features,
+            num_requested=int(len(halo_global_ids)),
+            num_hits=int(len(hit_rows)),
+            num_misses=int(len(miss_rows)),
+            rpc_time_s=rpc_time,
+            remote_nodes_fetched=int(remote_fetched),
+            lookup_nodes=lookup_nodes,
+            scoring_nodes=scoring_nodes,
+            eviction_round=eviction_round,
+            nodes_evicted=int(nodes_evicted),
+            nodes_replaced=int(nodes_replaced),
+            buffer_capacity=self.buffer.capacity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def hit_rate(self) -> float:
+        return self.tracker.cumulative_hit_rate
+
+    def buffer_nbytes(self) -> int:
+        self._require_initialized()
+        return self.buffer.nbytes()
+
+    def scoreboard_nbytes(self) -> int:
+        self._require_initialized()
+        return int(self.access_scores.nbytes() + self.eviction_scores.nbytes())
+
+    def resident_nodes(self) -> np.ndarray:
+        self._require_initialized()
+        return self.buffer.node_ids
+
+    def summary(self) -> Dict[str, float]:
+        self._require_initialized()
+        out = {
+            "hit_rate": self.hit_rate,
+            "buffer_capacity": float(self.buffer.capacity),
+            "buffer_nbytes": float(self.buffer.nbytes()),
+            "scoreboard_nbytes": float(self.scoreboard_nbytes()),
+        }
+        out.update({k: float(v) for k, v in self.counters.as_dict().items()})
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _require_initialized(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("Prefetcher.initialize() must be called before use")
+
+    def _increment_access(self, unique_ids: np.ndarray, counts: np.ndarray) -> None:
+        """Add the per-node miss counts to S_A (buffered nodes keep their -1)."""
+        current = self.access_scores.get(unique_ids)
+        self.access_scores.set(unique_ids, current + counts.astype(np.float64))
+
+    def _fetch_remote(self, global_ids: np.ndarray) -> Tuple[np.ndarray, float, object]:
+        """Pull *global_ids* from their owning partitions over RPC."""
+        idx = np.searchsorted(self.partition.halo_global, global_ids)
+        owners = self.partition.halo_owner[idx]
+        return self.rpc.remote_pull(global_ids, owners)
+
+    def _plan_eviction(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Choose eviction slots and replacement node ids (EVICT_AND_REPLACE)."""
+        evict_slots = self.eviction_policy.select(
+            self.eviction_scores, self.config.effective_alpha, self._last_hit_step, step
+        )
+        if len(evict_slots) == 0:
+            return evict_slots, np.zeros(0, dtype=np.int64)
+        replacements = self.access_scores.top_candidates(
+            len(evict_slots), exclude=self.buffer.node_ids, degrees=self._global_degrees
+        )
+        # Only keep replacements with positive demand (S_A > 0): replacing an
+        # unused slot with a never-missed node would be pure overhead.
+        if len(replacements):
+            scores = self.access_scores.get(replacements)
+            replacements = replacements[scores > 0]
+        # The number of replacements must equal the number of evictions to keep
+        # the buffer size constant; trim evictions if not enough candidates.
+        count = min(len(evict_slots), len(replacements))
+        return evict_slots[:count], replacements[:count]
+
+    def _apply_eviction(
+        self,
+        evict_slots: np.ndarray,
+        replacement_ids: np.ndarray,
+        replacement_rows: np.ndarray,
+        step: int,
+    ) -> None:
+        """Swap evicted nodes for replacements, exchanging their scores."""
+        if len(evict_slots) == 0:
+            return
+        evicted_ids = self.buffer.node_ids[evict_slots]
+        evicted_se = self.eviction_scores.get(evict_slots)
+        replacement_sa = self.access_scores.get(replacement_ids)
+
+        self.buffer.replace(evict_slots, replacement_ids, replacement_rows)
+        # Swap scores (Section IV-B): the evicted nodes' S_A becomes their last
+        # S_E; the replacements' S_E becomes their last S_A (clamped to at least
+        # the initial value so fresh slots are not immediately evicted again).
+        self.access_scores.set(evicted_ids, evicted_se)
+        new_se = np.maximum(replacement_sa, self.config.initial_eviction_score)
+        self.eviction_scores.set(evict_slots, new_se)
+        self.access_scores.set(replacement_ids, np.full(len(replacement_ids), -1.0))
+        self._last_hit_step[evict_slots] = step

@@ -1,0 +1,213 @@
+"""Simulated cluster: machines, partition servers, and trainer contexts.
+
+The paper's deployment is "one partition per machine, four trainers per
+machine".  :class:`SimCluster` reproduces that topology in-process:
+
+* the input graph is partitioned into ``num_machines`` partitions (METIS-like
+  by default, matching DGL's partition API);
+* each machine gets a :class:`~repro.distributed.server.PartitionServer`
+  holding its partition's features in a KVStore;
+* each machine spawns ``trainers_per_machine`` :class:`TrainerContext` objects
+  — each with its own share of the training seeds, its own data loader, its
+  own RPC channel, and its own simulated clock.
+
+The cluster object is consumed by both the baseline and the MassiveGNN
+training loops, so the two pipelines see identical partitions, seeds, and
+samplers (modulo sampler RNG streams, which are per-trainer in both cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributed.clock import SimClock
+from repro.distributed.cost_model import CostModel
+from repro.distributed.kvstore import KVStore
+from repro.distributed.rpc import RPCChannel
+from repro.distributed.server import PartitionServer
+from repro.graph.datasets import GraphDataset
+from repro.graph.halo import GraphPartition, build_partitions
+from repro.graph.partition import PartitionResult, partition_graph
+from repro.graph.partition_book import PartitionBook
+from repro.sampling.dataloader import DistDataLoader
+from repro.sampling.seeds import SeedPartitioner
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ClusterConfig:
+    """Topology and loader configuration for a simulated cluster."""
+
+    num_machines: int = 2
+    trainers_per_machine: int = 4
+    batch_size: int = 2000
+    fanouts: Sequence[int] = (10, 25)
+    partition_method: str = "metis"
+    backend: str = "cpu"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_machines, "num_machines")
+        check_positive(self.trainers_per_machine, "trainers_per_machine")
+        check_positive(self.batch_size, "batch_size")
+        if self.backend not in ("cpu", "gpu"):
+            raise ValueError(f"backend must be 'cpu' or 'gpu', got {self.backend!r}")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of trainer processes."""
+        return self.num_machines * self.trainers_per_machine
+
+
+@dataclass
+class TrainerContext:
+    """Everything one simulated trainer process owns."""
+
+    global_rank: int
+    machine: int
+    local_rank: int
+    partition: GraphPartition
+    dataloader: DistDataLoader
+    rpc: RPCChannel
+    clock: SimClock
+    seeds_local: np.ndarray
+    labels: np.ndarray
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_batches_per_epoch(self) -> int:
+        return self.dataloader.num_batches_per_epoch
+
+
+class SimCluster:
+    """In-process simulation of a DistDGL deployment."""
+
+    def __init__(
+        self,
+        dataset: GraphDataset,
+        config: ClusterConfig,
+        cost_model: Optional[CostModel] = None,
+        partition_result: Optional[PartitionResult] = None,
+    ):
+        self.dataset = dataset
+        self.config = config
+        self.cost_model = cost_model or CostModel.preset(config.backend)
+        self.cost_model.validate()
+
+        if partition_result is None:
+            partition_result = partition_graph(
+                dataset.graph,
+                config.num_machines,
+                method=config.partition_method,
+                seed=derive_seed(config.seed, 101),
+            )
+        if partition_result.num_parts != config.num_machines:
+            raise ValueError(
+                "partition_result has a different number of parts than num_machines"
+            )
+        self.partition_result = partition_result
+        self.book = PartitionBook.from_result(partition_result)
+        self.partitions: List[GraphPartition] = build_partitions(
+            dataset.graph, partition_result, self.book
+        )
+        self.servers: Dict[int, KVStore] = {}
+        self._server_objects: List[PartitionServer] = []
+        for partition in self.partitions:
+            server = PartitionServer(partition, dataset.features, dataset.labels)
+            self._server_objects.append(server)
+            self.servers[partition.part_id] = server.kvstore
+
+        self.trainers: List[TrainerContext] = self._spawn_trainers()
+
+    # ------------------------------------------------------------------ #
+    def _spawn_trainers(self) -> List[TrainerContext]:
+        config = self.config
+        trainers: List[TrainerContext] = []
+        train_mask = self.dataset.train_mask
+        for machine in range(config.num_machines):
+            partition = self.partitions[machine]
+            owned = partition.owned_global
+            train_local = np.nonzero(train_mask[owned])[0].astype(np.int64)
+            seed_partitioner = SeedPartitioner(
+                train_local,
+                config.trainers_per_machine,
+                seed=derive_seed(config.seed, 211, machine),
+            )
+            for local_rank in range(config.trainers_per_machine):
+                global_rank = machine * config.trainers_per_machine + local_rank
+                seeds_local = seed_partitioner.trainer_seeds(local_rank)
+                dataloader = DistDataLoader(
+                    partition=partition,
+                    seeds_local=seeds_local,
+                    fanouts=config.fanouts,
+                    batch_size=config.batch_size,
+                    labels=self.dataset.labels,
+                    seed=derive_seed(config.seed, 307, global_rank),
+                )
+                rpc = RPCChannel(self.servers, local_part=machine, cost_model=self.cost_model)
+                trainers.append(
+                    TrainerContext(
+                        global_rank=global_rank,
+                        machine=machine,
+                        local_rank=local_rank,
+                        partition=partition,
+                        dataloader=dataloader,
+                        rpc=rpc,
+                        clock=SimClock(),
+                        seeds_local=seeds_local,
+                        labels=self.dataset.labels,
+                    )
+                )
+        return trainers
+
+    # ------------------------------------------------------------------ #
+    @property
+    def world_size(self) -> int:
+        return self.config.world_size
+
+    @property
+    def server_objects(self) -> List[PartitionServer]:
+        return self._server_objects
+
+    def trainer(self, global_rank: int) -> TrainerContext:
+        return self.trainers[global_rank]
+
+    def partition_of_machine(self, machine: int) -> GraphPartition:
+        return self.partitions[machine]
+
+    def reset(self) -> None:
+        """Reset clocks, RPC counters, loader steps, and KVStore counters."""
+        for trainer in self.trainers:
+            trainer.clock.reset()
+            trainer.rpc.reset_stats()
+            trainer.dataloader.reset()
+        for server in self._server_objects:
+            server.reset_stats()
+
+    def average_remote_nodes_per_trainer(self) -> float:
+        """Table III's 'average number of remote nodes per trainer' statistic.
+
+        Every trainer on a machine shares the machine's partition, so this is
+        the mean halo count over partitions (each trainer observes that many
+        candidate remote nodes).
+        """
+        halos = [p.num_halo for p in self.partitions]
+        return float(np.mean(halos)) if halos else 0.0
+
+    def minibatches_per_trainer(self) -> int:
+        """Minibatches per trainer per epoch (constant batch size, Table III)."""
+        counts = [t.num_batches_per_epoch for t in self.trainers]
+        return int(np.ceil(np.mean(counts))) if counts else 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "num_machines": float(self.config.num_machines),
+            "world_size": float(self.world_size),
+            "edge_cut_fraction": self.partition_result.stats.get("edge_cut_fraction", 0.0),
+            "avg_remote_nodes_per_trainer": self.average_remote_nodes_per_trainer(),
+            "minibatches_per_trainer": float(self.minibatches_per_trainer()),
+        }

@@ -1,0 +1,70 @@
+"""Distributed data-parallel (DDP) gradient synchronization.
+
+The simulated trainers each hold a full replica of the GNN model and train on
+their own minibatches; after every backward pass their gradients are averaged
+(the synchronous allreduce PyTorch DDP performs) and every replica applies the
+same update.  Because the trainers run sequentially inside one process, the
+"allreduce" is an exact arithmetic mean — numerically equivalent to what NCCL
+or Gloo would produce — and its *cost* is charged to each trainer's simulated
+clock via the cost model's ring-allreduce estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.distributed.cost_model import CostModel
+
+
+GradDict = Dict[str, np.ndarray]
+
+
+def allreduce_gradients(per_trainer_grads: Sequence[GradDict]) -> GradDict:
+    """Average gradients across trainers (synchronous DDP).
+
+    All trainers must provide the same parameter names and shapes; trainers
+    that processed an empty minibatch may pass an empty dict and are excluded
+    from the average (mirroring DDP's join semantics for uneven inputs).
+    """
+    contributing = [g for g in per_trainer_grads if g]
+    if not contributing:
+        return {}
+    names = set(contributing[0].keys())
+    for g in contributing[1:]:
+        if set(g.keys()) != names:
+            raise ValueError("all trainers must report gradients for the same parameters")
+    averaged: GradDict = {}
+    for name in names:
+        stacked = np.stack([g[name] for g in contributing], axis=0)
+        averaged[name] = stacked.mean(axis=0)
+    return averaged
+
+
+def gradient_num_elements(grads: GradDict) -> int:
+    """Total number of gradient elements (drives allreduce payload size)."""
+    return int(sum(g.size for g in grads.values()))
+
+
+def allreduce_time(cost_model: CostModel, num_params: int, world_size: int) -> float:
+    """Simulated allreduce time for the given payload and world size."""
+    return cost_model.time_allreduce(num_params, world_size)
+
+
+def check_replicas_consistent(param_dicts: List[GradDict], atol: float = 1e-5) -> bool:
+    """Verify that all model replicas hold (numerically) identical parameters.
+
+    Synchronous DDP guarantees this invariant after every step; the integration
+    tests assert it to make sure the simulated trainers do not drift.
+    """
+    if len(param_dicts) <= 1:
+        return True
+    reference = param_dicts[0]
+    for other in param_dicts[1:]:
+        if set(other.keys()) != set(reference.keys()):
+            return False
+        for name, value in reference.items():
+            if not np.allclose(value, other[name], atol=atol):
+                return False
+    return True

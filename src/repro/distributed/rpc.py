@@ -1,0 +1,145 @@
+"""Simulated RPC layer between trainers and partition feature servers.
+
+In DistDGL every remote feature request travels over an RPC channel to the
+owning machine's server.  Here the "network" is in-process, but the channel
+records exactly what a real one would: how many requests were issued, how many
+feature rows moved, how many bytes that represents, and — via the
+:class:`~repro.distributed.cost_model.CostModel` — how long those transfers
+would have taken.  Trainer-side stall time for communication is then derived
+using the paper's Eq. 9 (``t_communication = t_RPC − t_copy``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.cost_model import BYTES_PER_FEATURE, CostModel
+from repro.distributed.kvstore import KVStore
+from repro.utils.validation import check_1d_int_array
+
+
+@dataclass
+class RPCStats:
+    """Cumulative per-trainer RPC counters."""
+
+    requests: int = 0
+    nodes_fetched: int = 0
+    bytes_fetched: int = 0
+    simulated_time_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests": self.requests,
+            "nodes_fetched": self.nodes_fetched,
+            "bytes_fetched": self.bytes_fetched,
+            "simulated_time_s": self.simulated_time_s,
+        }
+
+    def merge(self, other: "RPCStats") -> "RPCStats":
+        return RPCStats(
+            requests=self.requests + other.requests,
+            nodes_fetched=self.nodes_fetched + other.nodes_fetched,
+            bytes_fetched=self.bytes_fetched + other.bytes_fetched,
+            simulated_time_s=self.simulated_time_s + other.simulated_time_s,
+        )
+
+
+class RPCChannel:
+    """A trainer's handle for pulling remote features from partition servers.
+
+    Parameters
+    ----------
+    servers:
+        Mapping from partition id to that partition's :class:`KVStore`.
+    local_part:
+        The partition co-located with this trainer; pulls from it are memory
+        copies, not RPCs (and raise if routed through :meth:`remote_pull`).
+    cost_model:
+        Used to convert transfer sizes into simulated seconds.
+    """
+
+    def __init__(
+        self,
+        servers: Dict[int, KVStore],
+        local_part: int,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.servers = servers
+        self.local_part = int(local_part)
+        self.cost_model = cost_model or CostModel.cpu()
+        self.stats = RPCStats()
+
+    # ------------------------------------------------------------------ #
+    def local_pull(self, global_ids: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Copy locally owned feature rows; returns (rows, simulated_copy_time)."""
+        global_ids = check_1d_int_array(global_ids, "global_ids")
+        store = self.servers[self.local_part]
+        rows = store.pull(global_ids, remote=False)
+        copy_time = self.cost_model.time_copy(len(global_ids), store.feature_dim)
+        return rows, copy_time
+
+    def remote_pull(
+        self, global_ids: np.ndarray, owners: np.ndarray
+    ) -> Tuple[np.ndarray, float, RPCStats]:
+        """Pull remotely owned rows, grouped per owning partition.
+
+        Parameters
+        ----------
+        global_ids:
+            Global node ids to fetch (must not be owned locally).
+        owners:
+            Owning partition id per node (same length as ``global_ids``).
+
+        Returns
+        -------
+        (rows, simulated_time, delta_stats):
+            ``rows`` aligns with ``global_ids``; ``simulated_time`` is the RPC
+            wall time charged to the calling trainer; ``delta_stats`` is the
+            increment recorded for this call.
+        """
+        global_ids = check_1d_int_array(global_ids, "global_ids")
+        owners = check_1d_int_array(owners, "owners")
+        if len(global_ids) != len(owners):
+            raise ValueError("global_ids and owners must align")
+        if len(global_ids) == 0:
+            dim = self.servers[self.local_part].feature_dim
+            return np.zeros((0, dim), dtype=np.float32), 0.0, RPCStats()
+        if np.any(owners == self.local_part):
+            raise ValueError("remote_pull received locally owned nodes; use local_pull")
+
+        dim = self.servers[self.local_part].feature_dim
+        rows = np.zeros((len(global_ids), dim), dtype=np.float32)
+        unique_owners = np.unique(owners)
+        num_requests = 0
+        for owner in unique_owners:
+            mask = owners == owner
+            ids = global_ids[mask]
+            server = self.servers.get(int(owner))
+            if server is None:
+                raise KeyError(f"no server registered for partition {int(owner)}")
+            rows[mask] = server.pull(ids, remote=True)
+            num_requests += 1
+
+        simulated = self.cost_model.time_rpc(len(global_ids), dim, num_requests=num_requests)
+        delta = RPCStats(
+            requests=num_requests,
+            nodes_fetched=int(len(global_ids)),
+            bytes_fetched=int(len(global_ids) * dim * BYTES_PER_FEATURE),
+            simulated_time_s=simulated,
+        )
+        self.stats = self.stats.merge(delta)
+        return rows, simulated, delta
+
+    def reset_stats(self) -> None:
+        self.stats = RPCStats()
+
+
+def aggregate_rpc_stats(channels: List[RPCChannel]) -> RPCStats:
+    """Sum RPC statistics across all trainers' channels."""
+    total = RPCStats()
+    for channel in channels:
+        total = total.merge(channel.stats)
+    return total

@@ -1,0 +1,63 @@
+"""Graph substrate: CSR container, generators, datasets, partitioning, halos."""
+
+from repro.graph.csr import CSRGraph, merge_graphs, validate_graph
+from repro.graph.datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    GraphDataset,
+    available_datasets,
+    load_dataset,
+    make_custom_dataset,
+)
+from repro.graph.generators import (
+    chung_lu_edges,
+    class_informative_features,
+    planted_partition_graph,
+    powerlaw_degree_sequence,
+    rmat_edges,
+    rmat_graph,
+    train_val_test_split,
+)
+from repro.graph.halo import GraphPartition, build_partitions, halo_statistics
+from repro.graph.partition import (
+    PartitionResult,
+    balance,
+    edge_cut,
+    edge_cut_fraction,
+    hash_partition,
+    metis_partition,
+    partition_graph,
+    random_partition,
+)
+from repro.graph.partition_book import PartitionBook
+
+__all__ = [
+    "CSRGraph",
+    "merge_graphs",
+    "validate_graph",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "GraphDataset",
+    "available_datasets",
+    "load_dataset",
+    "make_custom_dataset",
+    "chung_lu_edges",
+    "class_informative_features",
+    "planted_partition_graph",
+    "powerlaw_degree_sequence",
+    "rmat_edges",
+    "rmat_graph",
+    "train_val_test_split",
+    "GraphPartition",
+    "build_partitions",
+    "halo_statistics",
+    "PartitionResult",
+    "balance",
+    "edge_cut",
+    "edge_cut_fraction",
+    "hash_partition",
+    "metis_partition",
+    "partition_graph",
+    "random_partition",
+    "PartitionBook",
+]

@@ -1,0 +1,370 @@
+"""Graph partitioning.
+
+DistDGL partitions the input graph offline with METIS before training.  METIS
+itself is not available here, so this module implements a multilevel k-way
+partitioner with the same three classic phases:
+
+1. **Coarsening** — heavy-edge matching repeatedly contracts matched node
+   pairs until the graph is small;
+2. **Initial partitioning** — greedy region growing on the coarsest graph,
+   balancing partition weights;
+3. **Uncoarsening + refinement** — partitions are projected back and boundary
+   nodes are moved greedily (Fiduccia–Mattheyses style single-node moves) to
+   reduce edge cut while respecting a balance constraint.
+
+Random and hash partitioners are provided as baselines; both produce far more
+halo nodes than the multilevel partitioner, which is useful in ablation
+benchmarks for showing how partition quality interacts with prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class PartitionResult:
+    """Assignment of every node to one of ``num_parts`` partitions."""
+
+    parts: np.ndarray
+    num_parts: int
+    method: str = "metis"
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.parts = np.asarray(self.parts, dtype=np.int64)
+        if self.parts.ndim != 1:
+            raise ValueError("parts must be a 1-D array")
+        if self.parts.size and (self.parts.min() < 0 or self.parts.max() >= self.num_parts):
+            raise ValueError("parts contains out-of-range partition ids")
+
+    def partition_nodes(self, part: int) -> np.ndarray:
+        """Global node ids owned by partition *part*."""
+        return np.nonzero(self.parts == part)[0].astype(np.int64)
+
+    def sizes(self) -> np.ndarray:
+        """Number of nodes per partition."""
+        return np.bincount(self.parts, minlength=self.num_parts).astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# Quality metrics
+# --------------------------------------------------------------------------- #
+def edge_cut(graph: CSRGraph, parts: np.ndarray) -> int:
+    """Number of edges whose endpoints live in different partitions."""
+    src, dst = graph.edges()
+    return int(np.count_nonzero(parts[src] != parts[dst]))
+
+
+def edge_cut_fraction(graph: CSRGraph, parts: np.ndarray) -> float:
+    """Edge cut normalized by total edge count."""
+    if graph.num_edges == 0:
+        return 0.0
+    return edge_cut(graph, parts) / graph.num_edges
+
+
+def balance(parts: np.ndarray, num_parts: int) -> float:
+    """Load imbalance: max partition size divided by the ideal size."""
+    sizes = np.bincount(parts, minlength=num_parts)
+    ideal = len(parts) / num_parts
+    return float(sizes.max() / ideal) if ideal > 0 else 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Baseline partitioners
+# --------------------------------------------------------------------------- #
+def random_partition(graph: CSRGraph, num_parts: int, seed: SeedLike = None) -> PartitionResult:
+    """Uniform random assignment with exact balance (block-shuffled)."""
+    check_positive(num_parts, "num_parts")
+    rng = ensure_rng(seed)
+    parts = np.arange(graph.num_nodes, dtype=np.int64) % num_parts
+    rng.shuffle(parts)
+    result = PartitionResult(parts=parts, num_parts=num_parts, method="random")
+    result.stats = _partition_stats(graph, result)
+    return result
+
+
+def hash_partition(graph: CSRGraph, num_parts: int, seed: SeedLike = None) -> PartitionResult:
+    """Deterministic hash (modulo) assignment of node id to partition."""
+    check_positive(num_parts, "num_parts")
+    salt = 0 if seed is None else (seed if isinstance(seed, int) else 0)
+    ids = np.arange(graph.num_nodes, dtype=np.uint64)
+    hashed = (ids * np.uint64(2654435761) + np.uint64(salt)) % np.uint64(num_parts)
+    result = PartitionResult(parts=hashed.astype(np.int64), num_parts=num_parts, method="hash")
+    result.stats = _partition_stats(graph, result)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Multilevel (METIS-like) partitioner
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Level:
+    """One level of the coarsening hierarchy."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    edge_weights: np.ndarray
+    node_weights: np.ndarray
+    fine_to_coarse: Optional[np.ndarray] = None  # map from the finer level
+
+
+def metis_partition(
+    graph: CSRGraph,
+    num_parts: int,
+    seed: SeedLike = None,
+    *,
+    coarsen_until: int = 256,
+    max_levels: int = 20,
+    refine_passes: int = 4,
+    imbalance_tolerance: float = 1.05,
+) -> PartitionResult:
+    """Multilevel k-way partitioning (METIS-style).
+
+    Parameters
+    ----------
+    coarsen_until:
+        Stop coarsening when the graph has at most this many nodes (scaled up
+        to ``8 * num_parts`` when more partitions are requested).
+    refine_passes:
+        Boundary refinement passes per uncoarsening level.
+    imbalance_tolerance:
+        Maximum allowed ratio of a partition's weight to the ideal weight
+        during refinement moves.
+    """
+    check_positive(num_parts, "num_parts")
+    if num_parts == 1:
+        result = PartitionResult(
+            parts=np.zeros(graph.num_nodes, dtype=np.int64), num_parts=1, method="metis"
+        )
+        result.stats = _partition_stats(graph, result)
+        return result
+    if num_parts > graph.num_nodes:
+        raise ValueError(
+            f"cannot split {graph.num_nodes} nodes into {num_parts} partitions"
+        )
+    rng = ensure_rng(seed)
+    target_size = max(coarsen_until, 8 * num_parts)
+
+    # ---------------- Coarsening ----------------
+    levels: List[_Level] = [
+        _Level(
+            indptr=graph.indptr.copy(),
+            indices=graph.indices.copy(),
+            edge_weights=np.ones(graph.num_edges, dtype=np.int64),
+            node_weights=np.ones(graph.num_nodes, dtype=np.int64),
+        )
+    ]
+    while len(levels) < max_levels:
+        current = levels[-1]
+        n = len(current.node_weights)
+        if n <= target_size:
+            break
+        matching = _heavy_edge_matching(current, rng)
+        coarse, fine_to_coarse = _contract(current, matching)
+        if len(coarse.node_weights) >= 0.95 * n:
+            # Matching stalled (e.g. star graphs); stop coarsening.
+            break
+        coarse.fine_to_coarse = fine_to_coarse
+        levels.append(coarse)
+
+    # ---------------- Initial partitioning ----------------
+    coarsest = levels[-1]
+    parts = _greedy_region_growing(coarsest, num_parts, rng)
+
+    # ---------------- Uncoarsening + refinement ----------------
+    for level_idx in range(len(levels) - 1, -1, -1):
+        level = levels[level_idx]
+        parts = _refine(
+            level, parts, num_parts, refine_passes, imbalance_tolerance, rng
+        )
+        if level_idx > 0:
+            mapping = levels[level_idx].fine_to_coarse
+            parts = parts[mapping]
+
+    result = PartitionResult(parts=parts.astype(np.int64), num_parts=num_parts, method="metis")
+    result.stats = _partition_stats(graph, result)
+    return result
+
+
+def partition_graph(
+    graph: CSRGraph, num_parts: int, method: str = "metis", seed: SeedLike = None
+) -> PartitionResult:
+    """Dispatch to a partitioner by name (``metis``, ``random``, ``hash``)."""
+    if method == "metis":
+        return metis_partition(graph, num_parts, seed=seed)
+    if method == "random":
+        return random_partition(graph, num_parts, seed=seed)
+    if method == "hash":
+        return hash_partition(graph, num_parts, seed=seed)
+    raise ValueError(f"unknown partition method {method!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Internals
+# --------------------------------------------------------------------------- #
+def _partition_stats(graph: CSRGraph, result: PartitionResult) -> Dict[str, float]:
+    return {
+        "edge_cut": float(edge_cut(graph, result.parts)),
+        "edge_cut_fraction": edge_cut_fraction(graph, result.parts),
+        "balance": balance(result.parts, result.num_parts),
+    }
+
+
+def _heavy_edge_matching(level: _Level, rng: np.random.Generator) -> np.ndarray:
+    """Greedy heavy-edge matching; returns match[i] = partner (or i itself)."""
+    n = len(level.node_weights)
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    indptr, indices, eweights = level.indptr, level.indices, level.edge_weights
+    for u in order:
+        if match[u] != -1:
+            continue
+        start, end = indptr[u], indptr[u + 1]
+        best, best_w = -1, -1
+        for idx in range(start, end):
+            v = indices[idx]
+            if v == u or match[v] != -1:
+                continue
+            w = eweights[idx]
+            if w > best_w:
+                best, best_w = v, w
+        if best >= 0:
+            match[u], match[best] = best, u
+        else:
+            match[u] = u
+    unmatched = match == -1
+    match[unmatched] = np.nonzero(unmatched)[0]
+    return match
+
+
+def _contract(level: _Level, match: np.ndarray) -> Tuple[_Level, np.ndarray]:
+    """Contract matched pairs into coarse nodes; aggregate edge/node weights."""
+    n = len(level.node_weights)
+    rep = np.minimum(np.arange(n, dtype=np.int64), match)
+    unique_reps, fine_to_coarse = np.unique(rep, return_inverse=True)
+    nc = len(unique_reps)
+    node_weights = np.zeros(nc, dtype=np.int64)
+    np.add.at(node_weights, fine_to_coarse, level.node_weights)
+
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(level.indptr))
+    dst = level.indices
+    csrc, cdst = fine_to_coarse[src], fine_to_coarse[dst]
+    keep = csrc != cdst
+    csrc, cdst, w = csrc[keep], cdst[keep], level.edge_weights[keep]
+    if len(csrc):
+        key = csrc * np.int64(nc) + cdst
+        order = np.argsort(key, kind="stable")
+        key, csrc, cdst, w = key[order], csrc[order], cdst[order], w[order]
+        unique_key, start_idx = np.unique(key, return_index=True)
+        agg_w = np.add.reduceat(w, start_idx)
+        csrc, cdst = csrc[start_idx], cdst[start_idx]
+        counts = np.bincount(csrc, minlength=nc)
+        indptr = np.zeros(nc + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        coarse = _Level(
+            indptr=indptr,
+            indices=cdst.astype(np.int64),
+            edge_weights=agg_w.astype(np.int64),
+            node_weights=node_weights,
+        )
+    else:
+        coarse = _Level(
+            indptr=np.zeros(nc + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+            edge_weights=np.zeros(0, dtype=np.int64),
+            node_weights=node_weights,
+        )
+    return coarse, fine_to_coarse.astype(np.int64)
+
+
+def _greedy_region_growing(
+    level: _Level, num_parts: int, rng: np.random.Generator
+) -> np.ndarray:
+    """BFS-style region growing producing a balanced initial partition."""
+    n = len(level.node_weights)
+    total_weight = int(level.node_weights.sum())
+    target = total_weight / num_parts
+    parts = np.full(n, -1, dtype=np.int64)
+    indptr, indices = level.indptr, level.indices
+    degrees = np.diff(indptr)
+    order = np.argsort(-degrees)  # grow from hubs outward
+    unassigned = set(range(n))
+
+    for p in range(num_parts):
+        weight = 0
+        # Seed: highest-degree unassigned node.
+        seed_node = next((int(u) for u in order if parts[u] == -1), None)
+        if seed_node is None:
+            break
+        frontier = [seed_node]
+        while frontier and weight < target:
+            u = frontier.pop()
+            if parts[u] != -1:
+                continue
+            parts[u] = p
+            unassigned.discard(u)
+            weight += int(level.node_weights[u])
+            for v in indices[indptr[u]: indptr[u + 1]]:
+                if parts[v] == -1:
+                    frontier.append(int(v))
+    # Any leftovers go to the lightest partition.
+    if unassigned:
+        weights = np.zeros(num_parts, dtype=np.int64)
+        assigned_mask = parts >= 0
+        np.add.at(weights, parts[assigned_mask], level.node_weights[assigned_mask])
+        for u in sorted(unassigned):
+            p = int(np.argmin(weights))
+            parts[u] = p
+            weights[p] += int(level.node_weights[u])
+    return parts
+
+
+def _refine(
+    level: _Level,
+    parts: np.ndarray,
+    num_parts: int,
+    passes: int,
+    imbalance_tolerance: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy boundary refinement (FM-style single-node moves)."""
+    parts = parts.copy()
+    n = len(level.node_weights)
+    indptr, indices, eweights = level.indptr, level.indices, level.edge_weights
+    weights = np.zeros(num_parts, dtype=np.int64)
+    np.add.at(weights, parts, level.node_weights)
+    max_weight = imbalance_tolerance * level.node_weights.sum() / num_parts
+
+    for _ in range(max(0, passes)):
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        boundary = np.unique(src[parts[src] != parts[indices]])
+        if len(boundary) == 0:
+            break
+        rng.shuffle(boundary)
+        moved = 0
+        for u in boundary:
+            current = parts[u]
+            start, end = indptr[u], indptr[u + 1]
+            neigh, w = indices[start:end], eweights[start:end]
+            gains = np.zeros(num_parts, dtype=np.int64)
+            np.add.at(gains, parts[neigh], w)
+            internal = gains[current]
+            gains[current] = -1  # never "move" to the same partition
+            best = int(np.argmax(gains))
+            gain = int(gains[best]) - int(internal)
+            if gain > 0 and weights[best] + level.node_weights[u] <= max_weight:
+                weights[current] -= level.node_weights[u]
+                weights[best] += level.node_weights[u]
+                parts[u] = best
+                moved += 1
+        if moved == 0:
+            break
+    return parts

@@ -1,0 +1,100 @@
+"""Partition book: the global id <-> (owner, local id) mapping.
+
+DistDGL keeps a ``GraphPartitionBook`` on every trainer so that, given the
+global node ids returned by the sampler, it can decide which KVStore server
+owns each node's features.  This class provides the same queries:
+
+* :meth:`owner` — owning partition of each global id;
+* :meth:`to_local` / :meth:`to_global` — translate between the global id space
+  and a partition's dense local id space (owned nodes are numbered
+  ``0..num_owned-1`` in ascending global-id order).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.partition import PartitionResult
+from repro.utils.validation import check_1d_int_array
+
+
+class PartitionBook:
+    """Global-to-partition lookup tables built from a :class:`PartitionResult`."""
+
+    def __init__(self, parts: np.ndarray, num_parts: int):
+        parts = check_1d_int_array(parts, "parts")
+        if parts.size and parts.max() >= num_parts:
+            raise ValueError("partition id out of range")
+        self._parts = parts
+        self._num_parts = int(num_parts)
+        self._num_nodes = len(parts)
+        # Owned nodes per partition, ascending global id.
+        self._owned: List[np.ndarray] = [
+            np.nonzero(parts == p)[0].astype(np.int64) for p in range(num_parts)
+        ]
+        # Global id -> local id within its owner.
+        self._global_to_local = np.full(self._num_nodes, -1, dtype=np.int64)
+        for p in range(num_parts):
+            self._global_to_local[self._owned[p]] = np.arange(
+                len(self._owned[p]), dtype=np.int64
+            )
+
+    @classmethod
+    def from_result(cls, result: PartitionResult) -> "PartitionBook":
+        return cls(result.parts, result.num_parts)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_parts(self) -> int:
+        return self._num_parts
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def owner(self, global_ids: np.ndarray) -> np.ndarray:
+        """Owning partition of each global node id."""
+        global_ids = check_1d_int_array(global_ids, "global_ids", max_value=self._num_nodes)
+        return self._parts[global_ids]
+
+    def partition_nodes(self, part: int) -> np.ndarray:
+        """Global ids owned by *part*, ascending."""
+        self._check_part(part)
+        return self._owned[part]
+
+    def partition_size(self, part: int) -> int:
+        self._check_part(part)
+        return int(len(self._owned[part]))
+
+    def to_local(self, global_ids: np.ndarray, part: int) -> np.ndarray:
+        """Local ids (within *part*) of *global_ids*; all must be owned by *part*."""
+        self._check_part(part)
+        global_ids = check_1d_int_array(global_ids, "global_ids", max_value=self._num_nodes)
+        owners = self._parts[global_ids]
+        if np.any(owners != part):
+            bad = global_ids[owners != part][:5]
+            raise ValueError(f"nodes {bad.tolist()} are not owned by partition {part}")
+        return self._global_to_local[global_ids]
+
+    def to_global(self, local_ids: np.ndarray, part: int) -> np.ndarray:
+        """Global ids of *local_ids* within partition *part*."""
+        self._check_part(part)
+        local_ids = check_1d_int_array(
+            local_ids, "local_ids", max_value=self.partition_size(part)
+        )
+        return self._owned[part][local_ids]
+
+    def is_owned(self, global_ids: np.ndarray, part: int) -> np.ndarray:
+        """Boolean mask: which of *global_ids* are owned by *part*."""
+        return self.owner(global_ids) == part
+
+    def group_by_owner(self, global_ids: np.ndarray) -> List[np.ndarray]:
+        """Split *global_ids* into per-owner lists (index = partition id)."""
+        owners = self.owner(global_ids)
+        return [global_ids[owners == p] for p in range(self._num_parts)]
+
+    def _check_part(self, part: int) -> None:
+        if part < 0 or part >= self._num_parts:
+            raise IndexError(f"partition {part} out of range [0, {self._num_parts})")

@@ -1,0 +1,154 @@
+"""Analytical performance model (Section IV-C, Equations 2–7).
+
+The paper derives when the prefetching scheme helps: per-minibatch baseline
+time is sampling + feature movement + DDP training (Eq. 2); with prefetching
+the next minibatch's preparation overlaps with the current minibatch's DDP
+training (Eqs. 4–5), so steady-state time is ``max(t_prepare, t_DDP)`` and the
+potential improvement factor is roughly ``t_RPC / t_DDP + 1`` (Eq. 6).  The
+compounding cost of frequent scoreboard maintenance is modelled by Eq. 7.
+
+These functions are used three ways in this repository: (1) directly, to
+predict speedups from measured component times; (2) as an oracle the
+simulated training engine is validated against in the tests; and (3) by the
+trade-off analysis in :mod:`repro.perf.tradeoffs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class StepComponents:
+    """Per-minibatch component times (seconds) entering the model."""
+
+    t_sampling: float = 0.0
+    t_rpc: float = 0.0
+    t_copy: float = 0.0
+    t_ddp: float = 0.0
+    t_lookup: float = 0.0
+    t_scoring: float = 0.0
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def baseline_step_time(c: StepComponents) -> float:
+    """Eq. 2: ``T_baseline = t_sampling + max(t_RPC, t_copy) + t_DDP``."""
+    c.validate()
+    return c.t_sampling + max(c.t_rpc, c.t_copy) + c.t_ddp
+
+
+def prepare_time(c: StepComponents) -> float:
+    """Eq. 3: next-minibatch preparation time with prefetching.
+
+    ``t_prepare = t_sampling + t_lookup + max(t_scoring, max(t_RPC, t_copy))``
+    — the scoreboard update is overlapped with the RPC fetch of missed nodes.
+    """
+    c.validate()
+    return c.t_sampling + c.t_lookup + max(c.t_scoring, max(c.t_rpc, c.t_copy))
+
+
+def prefetch_first_step_time(c: StepComponents) -> float:
+    """Eq. 4: the first minibatch pays its own preparation plus the overlap term."""
+    t_prep = prepare_time(c)
+    return t_prep + max(t_prep, c.t_ddp)
+
+
+def prefetch_steady_step_time(c: StepComponents) -> float:
+    """Eq. 5: steady state is the max of preparation (next batch) and training (current)."""
+    return max(prepare_time(c), c.t_ddp)
+
+
+def total_time(c: StepComponents, num_steps: int, *, prefetch: bool) -> float:
+    """Total time over *num_steps* minibatches for either pipeline."""
+    if num_steps <= 0:
+        return 0.0
+    if not prefetch:
+        return num_steps * baseline_step_time(c)
+    if num_steps == 1:
+        return prefetch_first_step_time(c)
+    return prefetch_first_step_time(c) + (num_steps - 1) * prefetch_steady_step_time(c)
+
+
+def improvement_factor(c: StepComponents) -> float:
+    """Eq. 6: approximate attainable speedup ``t_RPC / t_DDP + 1``.
+
+    Valid in the regime the paper targets (communication on the critical
+    path, perfect overlap); the exact ratio is :func:`predicted_speedup`.
+    """
+    if c.t_ddp <= 0:
+        raise ValueError("t_ddp must be positive for the improvement factor")
+    return c.t_rpc / c.t_ddp + 1.0
+
+
+def predicted_speedup(c: StepComponents, num_steps: int = 1000) -> float:
+    """Exact model-level speedup ``T_baseline / T_prefetch`` over many steps."""
+    baseline = total_time(c, num_steps, prefetch=False)
+    prefetched = total_time(c, num_steps, prefetch=True)
+    if prefetched <= 0:
+        return float("inf")
+    return baseline / prefetched
+
+
+def is_perfect_overlap(c: StepComponents) -> bool:
+    """True when minibatch preparation hides entirely behind DDP training."""
+    return prepare_time(c) <= c.t_ddp
+
+
+def overlap_efficiency(c: StepComponents) -> float:
+    """Fraction of preparation time hidden behind training (1.0 = perfect overlap).
+
+    Matches the Section V-B2 definition: the complement of the share of the
+    steady-state step spent stalled waiting for the next minibatch.
+    """
+    t_prep = prepare_time(c)
+    if t_prep <= 0:
+        return 1.0
+    hidden = min(t_prep, c.t_ddp)
+    return hidden / t_prep
+
+
+def scoring_overhead_compound(
+    t_prepare_present: float,
+    scoring_fraction: float,
+    num_epochs: int,
+    delta: int,
+) -> float:
+    """Eq. 7: compounded preparation time after repeated score maintenance.
+
+    ``t_prepare(future) = t_prepare(present) * (1 + scoring_fraction)^(epochs/delta)``
+    where ``scoring_fraction`` expresses the per-interval scoring cost as a
+    fraction of the preparation time (the paper's example uses 10%).
+    """
+    if t_prepare_present < 0:
+        raise ValueError("t_prepare_present must be non-negative")
+    if scoring_fraction < 0:
+        raise ValueError("scoring_fraction must be non-negative")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    periods = num_epochs / delta
+    return t_prepare_present * (1.0 + scoring_fraction) ** periods
+
+
+def communication_stall_time(t_rpc: float, t_copy: float) -> float:
+    """Eq. 9: trainer stall attributable to communication, ``t_RPC − t_copy`` (≥ 0)."""
+    return max(0.0, t_rpc - t_copy)
+
+
+def components_from_breakdown(breakdown: Dict[str, float], num_steps: int) -> StepComponents:
+    """Average per-step components from a simulated-clock breakdown ledger."""
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    get = lambda key: breakdown.get(key, 0.0) / num_steps
+    return StepComponents(
+        t_sampling=get("sampling"),
+        t_rpc=get("rpc"),
+        t_copy=get("copy"),
+        t_ddp=get("ddp") + get("allreduce"),
+        t_lookup=get("lookup"),
+        t_scoring=get("scoring") + get("eviction"),
+    )

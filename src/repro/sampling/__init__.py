@@ -1,0 +1,22 @@
+"""Minibatch sampling: blocks (MFGs), neighbor sampler, seeds, data loader."""
+
+from repro.sampling.block import Block, MiniBatch
+from repro.sampling.dataloader import DistDataLoader
+from repro.sampling.neighbor_sampler import (
+    NeighborSampler,
+    sample_for_partition,
+    split_local_halo,
+)
+from repro.sampling.seeds import SeedIterator, SeedPartitioner, minibatches_per_trainer
+
+__all__ = [
+    "Block",
+    "MiniBatch",
+    "DistDataLoader",
+    "NeighborSampler",
+    "sample_for_partition",
+    "split_local_halo",
+    "SeedIterator",
+    "SeedPartitioner",
+    "minibatches_per_trainer",
+]

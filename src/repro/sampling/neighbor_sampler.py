@@ -1,0 +1,184 @@
+"""Fan-out neighbor sampling (DGL ``NeighborSampler`` analog).
+
+Given seed nodes and a per-layer fan-out list (the paper uses ``{10, 25}`` for
+a 2-layer GraphSAGE), the sampler walks the partition's *local* graph structure
+outward layer by layer, uniformly sampling at most ``fanout`` neighbors per
+node without replacement.  Halo nodes are legitimate sampling targets (their
+structure is present locally) but have no outgoing edges in the local CSR, so
+the frontier naturally truncates at the partition boundary — the same
+behaviour as DistDGL's local sampling with halo nodes.
+
+The sampler is deliberately stochastic and stateless across minibatches: this
+non-determinism is exactly why a static cache is insufficient and a scored
+prefetch buffer (the paper's contribution) is needed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.halo import GraphPartition
+from repro.sampling.block import Block, MiniBatch
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_1d_int_array
+
+
+class NeighborSampler:
+    """Layer-wise uniform neighbor sampler over a local (partition) graph.
+
+    Parameters
+    ----------
+    graph:
+        CSR structure to sample from.  When sampling for a distributed trainer
+        this is ``partition.local_graph`` (local id space).
+    fanouts:
+        Neighbors to sample per layer, listed from the layer closest to the
+        seeds outward (the paper's ``{10, 25}`` means 10 neighbors at layer 1
+        and 25 at layer 2).  ``-1`` keeps the full neighborhood.
+    seed:
+        RNG seed; each trainer uses an independent stream.
+    """
+
+    def __init__(self, graph: CSRGraph, fanouts: Sequence[int], seed: SeedLike = None):
+        if not fanouts:
+            raise ValueError("fanouts must contain at least one layer")
+        for f in fanouts:
+            if f == 0 or f < -1:
+                raise ValueError(f"fanout must be positive or -1 (full), got {f}")
+        self.graph = graph
+        self.fanouts = [int(f) for f in fanouts]
+        self.rng = ensure_rng(seed)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.fanouts)
+
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        seeds: np.ndarray,
+        local_to_global: Optional[np.ndarray] = None,
+        step: int = 0,
+        labels: Optional[np.ndarray] = None,
+    ) -> MiniBatch:
+        """Sample a minibatch for *seeds* (given in the graph's id space).
+
+        ``local_to_global`` translates sampler ids to global ids for the
+        distributed data path; identity is assumed when omitted (single-machine
+        sampling over the full graph).
+        """
+        seeds = check_1d_int_array(seeds, "seeds", max_value=self.graph.num_nodes, allow_empty=False)
+        if local_to_global is None:
+            local_to_global = np.arange(self.graph.num_nodes, dtype=np.int64)
+
+        blocks: List[Block] = []
+        dst = np.unique(seeds)
+        # Sample from the innermost layer (closest to seeds) outward; blocks are
+        # then reversed so blocks[0] is the outermost (input) layer.
+        for fanout in self.fanouts:
+            src_extra, edge_src, edge_dst = self._sample_one_layer(dst, fanout)
+            src = np.concatenate([dst, src_extra])
+            blocks.append(
+                Block(
+                    src_nodes=src,
+                    dst_nodes=dst,
+                    edge_src=edge_src,
+                    edge_dst=edge_dst,
+                    src_global=local_to_global[src],
+                    dst_global=local_to_global[dst],
+                )
+            )
+            dst = src
+        blocks.reverse()
+
+        input_local = blocks[0].src_nodes
+        batch_labels = (
+            labels[local_to_global[np.unique(seeds)]]
+            if labels is not None
+            else np.zeros(0, dtype=np.int64)
+        )
+        return MiniBatch(
+            seeds_global=local_to_global[np.unique(seeds)],
+            blocks=blocks,
+            input_local=input_local,
+            input_global=local_to_global[input_local],
+            labels=batch_labels,
+            step=step,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _sample_one_layer(self, dst: np.ndarray, fanout: int):
+        """Sample up to *fanout* in-neighbors for every node in *dst*.
+
+        Returns ``(new_src_nodes, edge_src_index, edge_dst_index)`` where the
+        edge indices refer to positions in ``concat([dst, new_src_nodes])`` and
+        ``dst`` respectively.
+        """
+        indptr, indices = self.graph.indptr, self.graph.indices
+        sampled_src_chunks: List[np.ndarray] = []
+        edge_dst_chunks: List[np.ndarray] = []
+        for i, node in enumerate(dst):
+            start, end = indptr[node], indptr[node + 1]
+            neigh = indices[start:end]
+            if len(neigh) == 0:
+                continue
+            if fanout == -1 or len(neigh) <= fanout:
+                chosen = neigh
+            else:
+                chosen = self.rng.choice(neigh, size=fanout, replace=False)
+            sampled_src_chunks.append(np.asarray(chosen, dtype=np.int64))
+            edge_dst_chunks.append(np.full(len(chosen), i, dtype=np.int64))
+
+        if sampled_src_chunks:
+            sampled_src = np.concatenate(sampled_src_chunks)
+            edge_dst = np.concatenate(edge_dst_chunks)
+        else:
+            sampled_src = np.zeros(0, dtype=np.int64)
+            edge_dst = np.zeros(0, dtype=np.int64)
+
+        # Deduplicate frontier nodes; new nodes are appended after dst.
+        unique_new = np.setdiff1d(sampled_src, dst, assume_unique=False)
+        # Map every sampled endpoint to its row in concat([dst, unique_new]).
+        lookup_ids = np.concatenate([dst, unique_new])
+        order = np.argsort(lookup_ids, kind="stable")
+        sorted_ids = lookup_ids[order]
+        pos = np.searchsorted(sorted_ids, sampled_src)
+        edge_src = order[pos]
+        return unique_new, edge_src.astype(np.int64), edge_dst.astype(np.int64)
+
+
+def sample_for_partition(
+    partition: GraphPartition,
+    sampler: NeighborSampler,
+    seeds_local: np.ndarray,
+    step: int = 0,
+    labels: Optional[np.ndarray] = None,
+) -> MiniBatch:
+    """Convenience wrapper: sample on a partition's local graph with global-id mapping."""
+    return sampler.sample(
+        seeds_local, local_to_global=partition.local_to_global, step=step, labels=labels
+    )
+
+
+def split_local_halo(partition: GraphPartition, minibatch: MiniBatch):
+    """Split a minibatch's input nodes into locally owned vs. halo global ids.
+
+    Returns
+    -------
+    (local_global_ids, halo_global_ids, local_rows, halo_rows):
+        Global ids plus the corresponding row positions in the minibatch's
+        input feature matrix, so callers can scatter fetched features into the
+        right rows.
+    """
+    is_halo = partition.is_halo_local_id(minibatch.input_local)
+    local_rows = np.nonzero(~is_halo)[0].astype(np.int64)
+    halo_rows = np.nonzero(is_halo)[0].astype(np.int64)
+    return (
+        minibatch.input_global[local_rows],
+        minibatch.input_global[halo_rows],
+        local_rows,
+        halo_rows,
+    )

@@ -1,0 +1,98 @@
+"""Seed-node iteration for distributed trainers.
+
+DistDGL's second level of partitioning redistributes a partition's training
+nodes among the trainer processes co-located on that machine (4 trainers/node
+in the paper).  :class:`SeedPartitioner` performs that split and
+:class:`SeedIterator` yields shuffled, fixed-size seed batches per epoch — the
+paper keeps the batch size constant (2000) across all configurations, which is
+why the number of minibatches per trainer shrinks as trainers grow (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_1d_int_array, check_positive
+
+
+class SeedPartitioner:
+    """Split a partition's training nodes among its co-located trainers."""
+
+    def __init__(self, train_nids_local: np.ndarray, num_trainers: int, seed: SeedLike = None):
+        check_positive(num_trainers, "num_trainers")
+        self.train_nids_local = check_1d_int_array(train_nids_local, "train_nids_local")
+        self.num_trainers = int(num_trainers)
+        rng = ensure_rng(seed)
+        shuffled = self.train_nids_local.copy()
+        rng.shuffle(shuffled)
+        self._splits: List[np.ndarray] = [
+            np.sort(chunk) for chunk in np.array_split(shuffled, num_trainers)
+        ]
+
+    def trainer_seeds(self, trainer_rank: int) -> np.ndarray:
+        """Seed nodes (local ids) assigned to *trainer_rank*."""
+        if trainer_rank < 0 or trainer_rank >= self.num_trainers:
+            raise IndexError(f"trainer_rank {trainer_rank} out of range")
+        return self._splits[trainer_rank]
+
+
+class SeedIterator:
+    """Iterate over shuffled seed batches for one trainer, epoch by epoch."""
+
+    def __init__(
+        self,
+        seeds: np.ndarray,
+        batch_size: int,
+        seed: SeedLike = None,
+        drop_last: bool = False,
+    ):
+        check_positive(batch_size, "batch_size")
+        self.seeds = check_1d_int_array(seeds, "seeds")
+        self.batch_size = int(batch_size)
+        self.drop_last = bool(drop_last)
+        self.rng = ensure_rng(seed)
+
+    @property
+    def num_batches(self) -> int:
+        """Number of minibatches per epoch for this trainer."""
+        n = len(self.seeds)
+        if n == 0:
+            return 0
+        if self.drop_last:
+            return n // self.batch_size
+        return int(np.ceil(n / self.batch_size))
+
+    def epoch(self, epoch_index: Optional[int] = None) -> Iterator[np.ndarray]:
+        """Yield seed batches for one epoch (reshuffled every call)."""
+        if len(self.seeds) == 0:
+            return
+        order = self.seeds.copy()
+        self.rng.shuffle(order)
+        limit = self.num_batches * self.batch_size if self.drop_last else len(order)
+        for start in range(0, limit, self.batch_size):
+            batch = order[start: start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            if len(batch):
+                yield batch
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.epoch()
+
+
+def minibatches_per_trainer(
+    num_train_nodes: int, num_partitions: int, trainers_per_node: int, batch_size: int
+) -> int:
+    """Expected minibatches per trainer per epoch under the paper's setup.
+
+    The graph is split into ``num_partitions`` (one per machine), each machine
+    runs ``trainers_per_node`` trainers, and the batch size is constant — so
+    each trainer sees ``|V_train| / (num_partitions * trainers_per_node)``
+    seeds per epoch.
+    """
+    check_positive(batch_size, "batch_size")
+    seeds_per_trainer = num_train_nodes / max(1, num_partitions * trainers_per_node)
+    return max(1, int(np.ceil(seeds_per_trainer / batch_size)))

@@ -1,0 +1,48 @@
+"""Training pipelines: baseline DistDGL-style and MassiveGNN prefetch-enabled."""
+
+from repro.training.baseline import train_baseline
+from repro.training.config import TrainConfig
+from repro.training.engine import TrainingEngine
+from repro.training.evaluate import evaluate_accuracy, evaluate_loss, majority_class_accuracy
+from repro.training.massive import compare_baseline_and_prefetch, train_massive
+from repro.training.memory import MemoryProfile, compare_memory, profile_memory
+from repro.training.sweep import (
+    SweepPoint,
+    SweepResult,
+    delta_sweep,
+    find_optimal,
+    gamma_sweep,
+    paper_grid,
+    run_parameter_sweep,
+)
+from repro.training.telemetry import (
+    ComponentAccumulator,
+    EpochRecord,
+    StepTiming,
+    TrainingReport,
+)
+
+__all__ = [
+    "train_baseline",
+    "TrainConfig",
+    "TrainingEngine",
+    "evaluate_accuracy",
+    "evaluate_loss",
+    "majority_class_accuracy",
+    "compare_baseline_and_prefetch",
+    "train_massive",
+    "MemoryProfile",
+    "compare_memory",
+    "profile_memory",
+    "SweepPoint",
+    "SweepResult",
+    "delta_sweep",
+    "find_optimal",
+    "gamma_sweep",
+    "paper_grid",
+    "run_parameter_sweep",
+    "ComponentAccumulator",
+    "EpochRecord",
+    "StepTiming",
+    "TrainingReport",
+]

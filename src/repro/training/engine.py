@@ -1,0 +1,376 @@
+"""The distributed training engine.
+
+This module runs both pipelines the paper compares:
+
+* **baseline** — the DistDGL data path: every minibatch samples neighbors,
+  pulls locally owned features from the co-located KVStore, pulls every halo
+  node's features over RPC, and only then trains (Eq. 2);
+* **prefetch** — the MassiveGNN data path (Algorithm 1): a per-trainer
+  :class:`~repro.core.prefetcher.Prefetcher` serves halo nodes from its buffer,
+  fetches only the misses over RPC, maintains the scoreboards, and the whole
+  preparation of the next minibatch overlaps with DDP training on the current
+  one (Eqs. 3–5).
+
+Numerically, training is identical in both modes — the same minibatches, the
+same feature values, the same gradient averaging — so model accuracy is
+unaffected by prefetching (the paper's claim in Section V).  What differs is
+the *simulated time* accounted on each trainer's clock, which is what the
+benchmark harnesses report.
+
+The engine keeps a single model replica shared by all simulated trainers.
+Under synchronous DDP every replica receives the same averaged gradient and
+applies the same deterministic update, so one shared replica is numerically
+equivalent to ``world_size`` identical replicas (the property is asserted in
+the integration tests via :func:`repro.distributed.ddp.check_replicas_consistent`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PrefetchConfig
+from repro.core.eviction import EvictionPolicy
+from repro.core.prefetcher import Prefetcher
+from repro.distributed.clock import synchronize
+from repro.distributed.cluster import SimCluster, TrainerContext
+from repro.distributed.ddp import allreduce_gradients, gradient_num_elements
+from repro.distributed.rpc import aggregate_rpc_stats
+from repro.nn import build_model, build_optimizer, cross_entropy
+from repro.sampling.block import MiniBatch
+from repro.sampling.neighbor_sampler import split_local_halo
+from repro.training.config import TrainConfig
+from repro.training.evaluate import evaluate_accuracy
+from repro.training.telemetry import (
+    ComponentAccumulator,
+    EpochRecord,
+    StepTiming,
+    TrainingReport,
+    merge_trainer_hit_trackers,
+)
+from repro.utils.rng import derive_seed
+
+
+class TrainingEngine:
+    """Runs baseline or prefetch-enabled training on a :class:`SimCluster`."""
+
+    def __init__(self, cluster: SimCluster, train_config: TrainConfig):
+        self.cluster = cluster
+        self.config = train_config
+        self.cost_model = cluster.cost_model
+        self.dataset = cluster.dataset
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+    def run_baseline(self) -> TrainingReport:
+        """Train with the DistDGL-style data path (no prefetching)."""
+        return self._run(mode="baseline", prefetch_config=None)
+
+    def run_prefetch(
+        self,
+        prefetch_config: PrefetchConfig,
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ) -> TrainingReport:
+        """Train with the MassiveGNN prefetch-and-eviction data path."""
+        return self._run(
+            mode="prefetch", prefetch_config=prefetch_config, eviction_policy=eviction_policy
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def _run(
+        self,
+        mode: str,
+        prefetch_config: Optional[PrefetchConfig],
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ) -> TrainingReport:
+        wall_start = time.perf_counter()
+        cluster, config = self.cluster, self.config
+        cluster.reset()
+
+        model = build_model(
+            config.arch,
+            in_dim=self.dataset.feature_dim,
+            hidden_dim=config.hidden_dim,
+            num_classes=self.dataset.num_classes,
+            num_layers=config.num_layers,
+            num_heads=config.num_heads,
+            seed=derive_seed(config.seed, 401),
+        )
+        optimizer = build_optimizer(
+            config.optimizer, lr=config.learning_rate, weight_decay=config.weight_decay
+        )
+        num_params = model.num_parameters()
+        trainers = cluster.trainers
+        world = len(trainers)
+
+        prefetchers: List[Optional[Prefetcher]] = [None] * world
+        init_reports: List[Dict[str, float]] = []
+        if mode == "prefetch":
+            if prefetch_config is None:
+                raise ValueError("prefetch mode requires a PrefetchConfig")
+            for i, trainer in enumerate(trainers):
+                prefetcher = Prefetcher(
+                    partition=trainer.partition,
+                    config=prefetch_config,
+                    rpc=trainer.rpc,
+                    num_global_nodes=self.dataset.num_nodes,
+                    eviction_policy=eviction_policy,
+                )
+                report = prefetcher.initialize()
+                trainer.clock.advance(report.rpc_time_s, "init")
+                prefetchers[i] = prefetcher
+                init_reports.append(report.as_dict())
+
+        accumulators = [ComponentAccumulator() for _ in range(world)]
+        trainer_steps = [0] * world      # lifetime step counter per trainer (drives Δ and Eq. 4)
+        total_minibatches = 0
+        epoch_records: List[EpochRecord] = []
+        previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+
+        for epoch in range(config.epochs):
+            iterators = [iter(t.dataloader.epoch()) for t in trainers]
+            active = [True] * world
+            losses: List[float] = []
+            correct = 0
+            seen = 0
+            steps_this_epoch = 0
+
+            while any(active):
+                if (
+                    config.max_steps_per_epoch is not None
+                    and steps_this_epoch >= config.max_steps_per_epoch
+                ):
+                    break
+                step_grads: List[Dict[str, np.ndarray]] = []
+                participated: List[int] = []
+                for i, trainer in enumerate(trainers):
+                    if not active[i]:
+                        continue
+                    try:
+                        minibatch = next(iterators[i])
+                    except StopIteration:
+                        active[i] = False
+                        continue
+                    timing, loss, n_correct, n_seen, grads = self._train_step(
+                        trainer=trainer,
+                        minibatch=minibatch,
+                        model=model,
+                        mode=mode,
+                        prefetcher=prefetchers[i],
+                        trainer_step=trainer_steps[i],
+                    )
+                    trainer_steps[i] += 1
+                    total_minibatches += 1
+                    accumulators[i].add(timing)
+                    losses.append(loss)
+                    correct += n_correct
+                    seen += n_seen
+                    step_grads.append(grads)
+                    participated.append(i)
+
+                if not step_grads:
+                    break
+                averaged = allreduce_gradients(step_grads)
+                allreduce_t = self.cost_model.time_allreduce(num_params, world)
+                for i in participated:
+                    trainers[i].clock.advance(allreduce_t, "allreduce")
+                    accumulators[i].totals["allreduce"] += allreduce_t
+                synchronize([t.clock for t in trainers])
+                optimizer.step(model.parameters(), averaged)
+                model.zero_grad()
+                steps_this_epoch += 1
+
+            epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+            epoch_records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    simulated_time_s=epoch_end - previous_epoch_end,
+                    loss=float(np.mean(losses)) if losses else 0.0,
+                    train_accuracy=correct / seen if seen else 0.0,
+                    hit_rate=(
+                        float(
+                            np.mean(
+                                [p.hit_rate for p in prefetchers if p is not None]
+                            )
+                        )
+                        if mode == "prefetch"
+                        else None
+                    ),
+                )
+            )
+            previous_epoch_end = epoch_end
+
+        # ------------------------------------------------------------------ #
+        # Assemble the report
+        # ------------------------------------------------------------------ #
+        total_time = max(t.clock.time for t in trainers) if trainers else 0.0
+        breakdown_means = [acc.mean() for acc in accumulators]
+        mean_breakdown: Dict[str, float] = {}
+        for key in ComponentAccumulator.FIELDS:
+            totals = [acc.totals[key] for acc in accumulators]
+            mean_breakdown[key] = float(np.mean(totals)) if totals else 0.0
+        overlap = (
+            float(np.mean([acc.overlap_efficiency() for acc in accumulators]))
+            if mode == "prefetch" and accumulators
+            else 1.0
+        )
+
+        report = TrainingReport(
+            mode=mode,
+            backend=self.cost_model.backend,
+            dataset=self.dataset.name,
+            arch=config.arch,
+            num_machines=cluster.config.num_machines,
+            trainers_per_machine=cluster.config.trainers_per_machine,
+            epochs=config.epochs,
+            total_simulated_time_s=total_time,
+            wall_clock_s=time.perf_counter() - wall_start,
+            epoch_records=epoch_records,
+            component_breakdown=mean_breakdown,
+            per_trainer_breakdown=breakdown_means,
+            rpc_stats=aggregate_rpc_stats([t.rpc for t in trainers]),
+            hit_tracker=(
+                merge_trainer_hit_trackers([p.tracker for p in prefetchers if p is not None])
+                if mode == "prefetch"
+                else None
+            ),
+            per_trainer_hit_trackers=(
+                [p.tracker for p in prefetchers if p is not None] if mode == "prefetch" else []
+            ),
+            prefetch_init=init_reports,
+            overlap_efficiency=overlap,
+            final_train_accuracy=epoch_records[-1].train_accuracy if epoch_records else 0.0,
+            num_minibatches=total_minibatches,
+            config_description=prefetch_config.describe() if prefetch_config else "baseline",
+        )
+        if mode == "prefetch":
+            report.extras["mean_buffer_nbytes"] = float(
+                np.mean([p.buffer_nbytes() for p in prefetchers if p is not None])
+            )
+            report.extras["mean_scoreboard_nbytes"] = float(
+                np.mean([p.scoreboard_nbytes() for p in prefetchers if p is not None])
+            )
+            report.extras["remote_nodes_fetched_prefetch"] = float(
+                np.sum([p.counters.remote_nodes_fetched for p in prefetchers if p is not None])
+            )
+
+        if config.evaluate:
+            report.val_accuracy = evaluate_accuracy(
+                model,
+                self.dataset,
+                self.dataset.val_nids(),
+                fanouts=cluster.config.fanouts,
+                batch_size=config.eval_batch_size,
+                seed=derive_seed(config.seed, 997),
+            )
+            report.test_accuracy = evaluate_accuracy(
+                model,
+                self.dataset,
+                self.dataset.test_nids(),
+                fanouts=cluster.config.fanouts,
+                batch_size=config.eval_batch_size,
+                seed=derive_seed(config.seed, 998),
+            )
+        report.extras["model_num_parameters"] = float(num_params)
+        self._final_model = model
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Per-trainer step
+    # ------------------------------------------------------------------ #
+    def _train_step(
+        self,
+        trainer: TrainerContext,
+        minibatch: MiniBatch,
+        model,
+        mode: str,
+        prefetcher: Optional[Prefetcher],
+        trainer_step: int,
+    ) -> Tuple[StepTiming, float, int, int, Dict[str, np.ndarray]]:
+        cost = self.cost_model
+        partition = trainer.partition
+        local_ids, halo_ids, local_rows, halo_rows = split_local_halo(partition, minibatch)
+
+        t_sampling = cost.time_sampling(minibatch.total_edges())
+        features = np.zeros(
+            (minibatch.num_input_nodes, self.dataset.feature_dim), dtype=np.float32
+        )
+        local_feats, t_copy = trainer.rpc.local_pull(local_ids)
+        features[local_rows] = local_feats
+
+        timing = StepTiming(sampling=t_sampling, copy=t_copy)
+
+        if mode == "baseline":
+            owners = self.cluster.book.owner(halo_ids) if len(halo_ids) else np.zeros(0, dtype=np.int64)
+            halo_feats, t_rpc, _ = trainer.rpc.remote_pull(halo_ids, owners)
+            features[halo_rows] = halo_feats
+            timing.rpc = t_rpc
+        else:
+            result = prefetcher.process_minibatch(halo_ids, step=trainer_step)
+            features[halo_rows] = result.features
+            timing.rpc = result.rpc_time_s
+            timing.lookup = cost.time_lookup(result.lookup_nodes)
+            timing.scoring = cost.time_scoring(result.scoring_nodes)
+            if result.eviction_round:
+                timing.eviction = cost.time_eviction(
+                    result.buffer_capacity, result.nodes_replaced
+                )
+
+        # ---------------- model compute ----------------
+        logits = model.forward(minibatch.blocks, features)
+        loss, grad_logits = cross_entropy(logits, minibatch.labels)
+        model.backward(grad_logits)
+        grads = {name: grad.copy() for name, grad in model.gradients().items()}
+        model.zero_grad()
+        preds = np.argmax(logits, axis=1)
+        n_correct = int(np.sum(preds == minibatch.labels))
+        n_seen = int(len(minibatch.labels))
+        timing.ddp = cost.time_compute(model.flops(minibatch))
+
+        # ---------------- simulated time accounting ----------------
+        if mode == "baseline":
+            # Eq. 2: sampling + max(rpc, copy) + ddp; rpc beyond the local copy
+            # is the communication stall (Eq. 9).
+            critical = timing.sampling + max(timing.rpc, timing.copy) + timing.ddp
+            trainer.clock.advance(timing.sampling, "sampling")
+            trainer.clock.advance(timing.copy, "copy")
+            trainer.clock.advance(max(0.0, timing.rpc - timing.copy), "rpc")
+            trainer.clock.advance(timing.ddp, "ddp")
+            timing.prepare = 0.0
+            timing.hidden = 0.0
+        else:
+            # Eq. 3: preparation of the next minibatch; scoreboard maintenance
+            # overlaps with the RPC fetch of missed nodes.
+            prepare = (
+                timing.sampling
+                + timing.lookup
+                + max(timing.scoring + timing.eviction, max(timing.rpc, timing.copy))
+            )
+            timing.prepare = prepare
+            if trainer_step == 0:
+                # Eq. 4: the very first minibatch cannot reuse a prefetched batch.
+                critical = prepare + max(prepare, timing.ddp)
+                timing.hidden = min(prepare, timing.ddp)
+            else:
+                # Eq. 5: steady state — preparation overlaps DDP training.
+                critical = max(prepare, timing.ddp)
+                timing.hidden = min(prepare, timing.ddp)
+            trainer.clock.advance(timing.ddp, "ddp")
+            trainer.clock.advance(max(0.0, critical - timing.ddp), "stall")
+
+        timing.critical_path = critical
+        return timing, loss, n_correct, n_seen, grads
+
+    # ------------------------------------------------------------------ #
+    @property
+    def final_model(self):
+        """The trained model from the most recent run (for evaluation/examples)."""
+        model = getattr(self, "_final_model", None)
+        if model is None:
+            raise RuntimeError("no training run has completed yet")
+        return model

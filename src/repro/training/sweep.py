@@ -1,0 +1,203 @@
+"""Parameter sweeps over (f_h, γ, Δ) — the machinery behind Table IV and Figs. 12–13.
+
+The paper tests f_h ∈ {15, 25, 35, 50}%, Δ ∈ {16 … 1024}, γ ∈ {0.95, 0.995,
+0.9995} per dataset/backend and reports the combination that minimizes
+end-to-end training time (time is prioritized over hit rate when they
+disagree, Section V-A4).  :func:`run_parameter_sweep` executes an arbitrary
+grid on a shared cluster and :func:`find_optimal` reproduces that selection
+rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import (
+    PAPER_DELTAS,
+    PAPER_GAMMAS,
+    PAPER_HALO_FRACTIONS,
+    PrefetchConfig,
+)
+from repro.distributed.cluster import ClusterConfig, SimCluster
+from repro.distributed.cost_model import CostModel
+from repro.graph.datasets import GraphDataset
+from repro.training.config import TrainConfig
+from repro.training.engine import TrainingEngine
+from repro.training.telemetry import TrainingReport
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated configuration in a sweep."""
+
+    halo_fraction: float
+    gamma: float
+    delta: int
+    eviction_enabled: bool
+    total_time_s: float
+    hit_rate: float
+    improvement_percent: float
+    report: Optional[TrainingReport] = field(default=None, repr=False)
+
+    def key(self) -> Tuple[float, float, int]:
+        return (self.halo_fraction, self.gamma, self.delta)
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep plus the shared baseline run."""
+
+    baseline: TrainingReport
+    points: List[SweepPoint]
+
+    def best(self, by: str = "time") -> SweepPoint:
+        """Best point: minimum time (default) or maximum hit rate."""
+        if not self.points:
+            raise ValueError("sweep produced no points")
+        if by == "time":
+            return min(self.points, key=lambda p: p.total_time_s)
+        if by == "hit_rate":
+            return max(self.points, key=lambda p: p.hit_rate)
+        raise ValueError(f"unknown criterion {by!r}")
+
+    def as_rows(self) -> List[List[object]]:
+        """Rows for the benchmark tables: (f_h, γ, Δ, time, hit rate, improvement %)."""
+        return [
+            [p.halo_fraction, p.gamma, p.delta, p.total_time_s, p.hit_rate, p.improvement_percent]
+            for p in self.points
+        ]
+
+
+def run_parameter_sweep(
+    dataset: GraphDataset,
+    cluster_config: Optional[ClusterConfig] = None,
+    train_config: Optional[TrainConfig] = None,
+    halo_fractions: Sequence[float] = (0.25,),
+    gammas: Sequence[float] = (0.995,),
+    deltas: Sequence[int] = (64,),
+    include_no_eviction: bool = False,
+    cost_model: Optional[CostModel] = None,
+    keep_reports: bool = False,
+) -> SweepResult:
+    """Run the baseline once plus one prefetch run per grid point on a shared cluster."""
+    cluster_config = cluster_config or ClusterConfig()
+    train_config = train_config or TrainConfig()
+    cluster = SimCluster(dataset, cluster_config, cost_model=cost_model)
+    engine = TrainingEngine(cluster, train_config)
+    baseline = engine.run_baseline()
+
+    points: List[SweepPoint] = []
+    for f_h in halo_fractions:
+        configs: List[PrefetchConfig] = []
+        if include_no_eviction:
+            configs.append(PrefetchConfig(halo_fraction=f_h, eviction_enabled=False))
+        for gamma in gammas:
+            for delta in deltas:
+                configs.append(PrefetchConfig(halo_fraction=f_h, gamma=gamma, delta=delta))
+        for config in configs:
+            report = engine.run_prefetch(config)
+            points.append(
+                SweepPoint(
+                    halo_fraction=config.halo_fraction,
+                    gamma=config.gamma,
+                    delta=config.delta,
+                    eviction_enabled=config.eviction_enabled,
+                    total_time_s=report.total_simulated_time_s,
+                    hit_rate=report.hit_rate,
+                    improvement_percent=report.improvement_percent_vs(baseline),
+                    report=report if keep_reports else None,
+                )
+            )
+    return SweepResult(baseline=baseline, points=points)
+
+
+def find_optimal(
+    sweep: SweepResult, prioritize: str = "time"
+) -> Dict[str, float]:
+    """Table IV selection rule: the (f_h, γ, Δ) minimizing end-to-end time."""
+    best = sweep.best(by=prioritize)
+    return {
+        "halo_fraction": best.halo_fraction,
+        "gamma": best.gamma,
+        "delta": best.delta,
+        "total_time_s": best.total_time_s,
+        "hit_rate": best.hit_rate,
+        "improvement_percent": best.improvement_percent,
+    }
+
+
+def paper_grid(reduced: bool = True) -> Dict[str, Sequence[float]]:
+    """The parameter grid the paper explores (optionally reduced for quick runs)."""
+    if reduced:
+        return {
+            "halo_fractions": (0.25, 0.50),
+            "gammas": (0.95, 0.995),
+            "deltas": (16, 128),
+        }
+    return {
+        "halo_fractions": PAPER_HALO_FRACTIONS,
+        "gammas": PAPER_GAMMAS,
+        "deltas": PAPER_DELTAS,
+    }
+
+
+def delta_sweep(
+    dataset: GraphDataset,
+    gamma_values: Iterable[float],
+    delta_values: Iterable[int],
+    halo_fraction: float = 0.25,
+    cluster_config: Optional[ClusterConfig] = None,
+    train_config: Optional[TrainConfig] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Dict[float, List[SweepPoint]]:
+    """Fig. 12 data: for each γ, sweep the eviction interval Δ."""
+    out: Dict[float, List[SweepPoint]] = {}
+    for gamma in gamma_values:
+        sweep = run_parameter_sweep(
+            dataset,
+            cluster_config=cluster_config,
+            train_config=train_config,
+            halo_fractions=(halo_fraction,),
+            gammas=(gamma,),
+            deltas=tuple(delta_values),
+            cost_model=cost_model,
+        )
+        out[float(gamma)] = sweep.points
+    return out
+
+
+def gamma_sweep(
+    dataset: GraphDataset,
+    gamma_values: Iterable[float],
+    delta_values: Iterable[int],
+    halo_fraction: float = 0.25,
+    cluster_config: Optional[ClusterConfig] = None,
+    train_config: Optional[TrainConfig] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Dict[float, Dict[str, float]]:
+    """Fig. 13 data: per γ, the mean/min/max time and hit rate across Δ values."""
+    results: Dict[float, Dict[str, float]] = {}
+    for gamma in gamma_values:
+        sweep = run_parameter_sweep(
+            dataset,
+            cluster_config=cluster_config,
+            train_config=train_config,
+            halo_fractions=(halo_fraction,),
+            gammas=(gamma,),
+            deltas=tuple(delta_values),
+            cost_model=cost_model,
+        )
+        times = np.array([p.total_time_s for p in sweep.points])
+        hits = np.array([p.hit_rate for p in sweep.points])
+        results[float(gamma)] = {
+            "mean_time_s": float(times.mean()),
+            "min_time_s": float(times.min()),
+            "max_time_s": float(times.max()),
+            "mean_hit_rate": float(hits.mean()),
+            "min_hit_rate": float(hits.min()),
+            "max_hit_rate": float(hits.max()),
+        }
+    return results

@@ -1,0 +1,219 @@
+"""Run traces: serialize training reports to JSON and index experiments.
+
+Two purposes:
+
+* **Provenance** — benchmark harnesses and examples can persist a
+  :class:`~repro.training.telemetry.TrainingReport` (plus the configs that
+  produced it) as a JSON trace, reload it later, and diff two runs without
+  rerunning anything.
+* **Experiment registry** — the mapping from the paper's table/figure numbers
+  to the benchmark target and the modules that implement it (DESIGN.md's
+  per-experiment index) is available programmatically, so tooling (the CLI's
+  ``experiments`` command, docs generators) cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.training.telemetry import TrainingReport
+
+
+# --------------------------------------------------------------------------- #
+# Experiment registry (DESIGN.md per-experiment index, as data)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper table/figure and how this repository regenerates it."""
+
+    experiment_id: str
+    paper_reference: str
+    description: str
+    bench_target: str
+    modules: tuple
+    workload: str
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in [
+        ExperimentSpec(
+            "table2", "Table II", "Dataset statistics of the OGB analogs",
+            "benchmarks/bench_table2_datasets.py",
+            ("repro.graph.datasets", "repro.graph.generators"),
+            "all four dataset analogs",
+        ),
+        ExperimentSpec(
+            "table3", "Table III", "Average remote nodes and minibatches per trainer",
+            "benchmarks/bench_table3_remote_nodes.py",
+            ("repro.graph.partition", "repro.distributed.cluster"),
+            "4-16 trainers, constant batch size",
+        ),
+        ExperimentSpec(
+            "table4", "Table IV", "Optimal (f_h, gamma, delta) per dataset/backend",
+            "benchmarks/bench_table4_optimal_params.py",
+            ("repro.training.sweep",),
+            "reduced parameter grid, CPU and GPU backends",
+        ),
+        ExperimentSpec(
+            "fig5", "Fig. 5", "Decay/interval trade-off quadrants",
+            "benchmarks/bench_fig5_quadrants.py",
+            ("repro.perf.tradeoffs", "repro.training.engine"),
+            "one configuration per quadrant on products",
+        ),
+        ExperimentSpec(
+            "fig6", "Fig. 6", "End-to-end GraphSAGE training time, CPU and GPU",
+            "benchmarks/bench_fig6_training_time.py",
+            ("repro.training.engine", "repro.core.prefetcher"),
+            "4 datasets x 2 backends x 2 cluster sizes",
+        ),
+        ExperimentSpec(
+            "fig7", "Fig. 7", "GAT on the papers analog",
+            "benchmarks/bench_fig7_gat.py",
+            ("repro.nn.gat", "repro.training.engine"),
+            "2-head GAT, CPU and GPU backends",
+        ),
+        ExperimentSpec(
+            "fig8", "Fig. 8", "Prefetcher initialization cost",
+            "benchmarks/bench_fig8_init_cost.py",
+            ("repro.core.prefetcher",),
+            "products and papers analogs",
+        ),
+        ExperimentSpec(
+            "fig9", "Fig. 9", "Component-wise time breakdown and overlap efficiency",
+            "benchmarks/bench_fig9_breakdown.py",
+            ("repro.training.telemetry", "repro.distributed.cost_model"),
+            "products and papers, CPU and GPU",
+        ),
+        ExperimentSpec(
+            "fig10", "Fig. 10", "Hit-rate progression across minibatches",
+            "benchmarks/bench_fig10_hitrate_progression.py",
+            ("repro.core.metrics",),
+            "longer products training with eviction",
+        ),
+        ExperimentSpec(
+            "fig11", "Fig. 11", "Remote-node and communication-time reduction",
+            "benchmarks/bench_fig11_rpc_reduction.py",
+            ("repro.distributed.rpc", "repro.perf.model"),
+            "products and papers, CPU backend",
+        ),
+        ExperimentSpec(
+            "fig12", "Fig. 12", "Eviction interval sweep per decay factor",
+            "benchmarks/bench_fig12_delta_sweep.py",
+            ("repro.training.sweep",),
+            "delta sweep on products",
+        ),
+        ExperimentSpec(
+            "fig13", "Fig. 13", "Decay factor sweep",
+            "benchmarks/bench_fig13_gamma_sweep.py",
+            ("repro.training.sweep",),
+            "gamma sweep on products",
+        ),
+        ExperimentSpec(
+            "fig14", "Fig. 14", "Peak memory, baseline vs prefetch",
+            "benchmarks/bench_fig14_memory.py",
+            ("repro.training.memory",),
+            "papers analog, extreme configuration",
+        ),
+        ExperimentSpec(
+            "perfmodel", "Eqs. 2-7", "Analytical performance model validation",
+            "benchmarks/bench_perfmodel.py",
+            ("repro.perf.model",),
+            "model prediction vs simulated execution",
+        ),
+        ExperimentSpec(
+            "ablations", "(extension)", "Eviction-policy and partition-quality ablations",
+            "benchmarks/bench_ablations.py",
+            ("repro.core.eviction", "repro.graph.partition"),
+            "products analog",
+        ),
+    ]
+}
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All registered experiments in a stable order."""
+    return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS)]
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+# --------------------------------------------------------------------------- #
+# Report (de)serialization
+# --------------------------------------------------------------------------- #
+def report_to_dict(report: TrainingReport) -> Dict:
+    """Flatten a :class:`TrainingReport` into JSON-serializable primitives."""
+    return {
+        "mode": report.mode,
+        "backend": report.backend,
+        "dataset": report.dataset,
+        "arch": report.arch,
+        "num_machines": report.num_machines,
+        "trainers_per_machine": report.trainers_per_machine,
+        "epochs": report.epochs,
+        "total_simulated_time_s": report.total_simulated_time_s,
+        "wall_clock_s": report.wall_clock_s,
+        "final_train_accuracy": report.final_train_accuracy,
+        "val_accuracy": report.val_accuracy,
+        "test_accuracy": report.test_accuracy,
+        "hit_rate": report.hit_rate,
+        "overlap_efficiency": report.overlap_efficiency,
+        "num_minibatches": report.num_minibatches,
+        "remote_nodes_fetched": report.remote_nodes_fetched(),
+        "config_description": report.config_description,
+        "component_breakdown": dict(report.component_breakdown),
+        "epoch_loss": [r.loss for r in report.epoch_records],
+        "epoch_time_s": [r.simulated_time_s for r in report.epoch_records],
+        "epoch_train_accuracy": [r.train_accuracy for r in report.epoch_records],
+        "extras": dict(report.extras),
+    }
+
+
+def save_trace(
+    report: TrainingReport,
+    path: Union[str, Path],
+    metadata: Optional[Dict] = None,
+) -> Path:
+    """Write a JSON trace of *report* (plus optional metadata) to *path*."""
+    path = Path(path)
+    payload = {"report": report_to_dict(report), "metadata": metadata or {}}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Dict:
+    """Load a JSON trace written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    if "report" not in payload:
+        raise ValueError(f"{path} is not a repro trace (missing 'report')")
+    return payload
+
+
+def compare_traces(baseline: Dict, other: Dict) -> Dict[str, float]:
+    """Compare two loaded traces; positive improvement means *other* is faster."""
+    base_report, other_report = baseline["report"], other["report"]
+    base_time = base_report["total_simulated_time_s"]
+    other_time = other_report["total_simulated_time_s"]
+    improvement = 100.0 * (base_time - other_time) / base_time if base_time > 0 else 0.0
+    return {
+        "baseline_time_s": base_time,
+        "other_time_s": other_time,
+        "improvement_percent": improvement,
+        "speedup": base_time / other_time if other_time > 0 else float("inf"),
+        "baseline_hit_rate": base_report.get("hit_rate", 0.0),
+        "other_hit_rate": other_report.get("hit_rate", 0.0),
+        "remote_nodes_delta": other_report.get("remote_nodes_fetched", 0)
+        - base_report.get("remote_nodes_fetched", 0),
+        "accuracy_delta": other_report.get("final_train_accuracy", 0.0)
+        - base_report.get("final_train_accuracy", 0.0),
+    }

@@ -1,0 +1,18 @@
+"""Shared utilities: RNG handling, validation helpers, and lightweight logging."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_1d_int_array,
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_1d_int_array",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,46 @@
+"""Minimal structured logging for simulations and benchmark harnesses.
+
+The benchmark scripts print paper-style tables; the training engine emits
+per-epoch progress lines.  A tiny wrapper around :mod:`logging` keeps the
+output format consistent without pulling in heavier dependencies.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Iterable, List, Sequence
+
+_FORMAT = "[%(levelname)s %(name)s] %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a logger configured to emit to stderr once (idempotent)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(level)
+    return logger
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_fmt: str = "{:.4g}") -> str:
+    """Render an ASCII table (used by benchmark harnesses to mimic paper tables)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

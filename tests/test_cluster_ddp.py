@@ -1,0 +1,123 @@
+"""Tests for the simulated cluster and DDP gradient synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cluster import ClusterConfig, SimCluster
+from repro.distributed.cost_model import CostModel
+from repro.distributed.ddp import (
+    allreduce_gradients,
+    allreduce_time,
+    check_replicas_consistent,
+    gradient_num_elements,
+)
+
+
+class TestClusterConfig:
+    def test_world_size(self):
+        assert ClusterConfig(num_machines=4, trainers_per_machine=4).world_size == 16
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(backend="tpu")
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_machines=0)
+
+
+class TestSimCluster:
+    def test_trainer_count(self, small_cluster):
+        assert len(small_cluster.trainers) == small_cluster.config.world_size
+
+    def test_one_partition_per_machine(self, small_cluster):
+        assert len(small_cluster.partitions) == small_cluster.config.num_machines
+        for trainer in small_cluster.trainers:
+            assert trainer.partition.part_id == trainer.machine
+
+    def test_trainer_seeds_are_owned_train_nodes(self, small_cluster, small_dataset):
+        for trainer in small_cluster.trainers:
+            owned = trainer.partition.owned_global
+            seed_globals = owned[trainer.seeds_local]
+            assert np.all(small_dataset.train_mask[seed_globals])
+
+    def test_trainers_split_seeds_disjointly(self, small_cluster):
+        by_machine = {}
+        for trainer in small_cluster.trainers:
+            by_machine.setdefault(trainer.machine, []).append(trainer.seeds_local)
+        for machine, seed_lists in by_machine.items():
+            allseeds = np.concatenate(seed_lists)
+            assert len(np.unique(allseeds)) == len(allseeds)
+
+    def test_servers_cover_all_features(self, small_cluster, small_dataset):
+        total_rows = sum(s.num_rows for s in small_cluster.servers.values())
+        assert total_rows == small_dataset.num_nodes
+
+    def test_summary_keys(self, small_cluster):
+        summary = small_cluster.summary()
+        for key in ("num_machines", "world_size", "avg_remote_nodes_per_trainer", "minibatches_per_trainer"):
+            assert key in summary
+
+    def test_reset_clears_state(self, small_cluster):
+        trainer = small_cluster.trainers[0]
+        trainer.clock.advance(1.0, "rpc")
+        small_cluster.reset()
+        assert trainer.clock.time == 0.0
+        assert trainer.rpc.stats.nodes_fetched == 0
+
+    def test_mismatched_partition_result_raises(self, small_dataset):
+        from repro.graph.partition import metis_partition
+
+        result = metis_partition(small_dataset.graph, 3, seed=0)
+        with pytest.raises(ValueError):
+            SimCluster(
+                small_dataset,
+                ClusterConfig(num_machines=2, trainers_per_machine=1),
+                partition_result=result,
+            )
+
+    def test_gpu_backend_cost_model(self, small_dataset):
+        cluster = SimCluster(
+            small_dataset,
+            ClusterConfig(num_machines=2, trainers_per_machine=1, backend="gpu", batch_size=64),
+        )
+        assert cluster.cost_model.backend == "gpu"
+
+
+class TestAllreduce:
+    def test_average_of_two(self):
+        a = {"w": np.array([1.0, 2.0]), "b": np.array([0.0])}
+        b = {"w": np.array([3.0, 4.0]), "b": np.array([2.0])}
+        avg = allreduce_gradients([a, b])
+        np.testing.assert_allclose(avg["w"], [2.0, 3.0])
+        np.testing.assert_allclose(avg["b"], [1.0])
+
+    def test_skips_empty_contributions(self):
+        a = {"w": np.array([2.0])}
+        avg = allreduce_gradients([a, {}])
+        np.testing.assert_allclose(avg["w"], [2.0])
+
+    def test_all_empty(self):
+        assert allreduce_gradients([{}, {}]) == {}
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(ValueError):
+            allreduce_gradients([{"w": np.zeros(2)}, {"v": np.zeros(2)}])
+
+    def test_gradient_num_elements(self):
+        grads = {"w": np.zeros((3, 4)), "b": np.zeros(4)}
+        assert gradient_num_elements(grads) == 16
+
+    def test_allreduce_time_positive(self):
+        cm = CostModel.cpu()
+        assert allreduce_time(cm, 100_000, 8) > 0
+        assert allreduce_time(cm, 100_000, 1) == 0.0
+
+    def test_check_replicas_consistent(self):
+        a = {"w": np.ones(3)}
+        b = {"w": np.ones(3)}
+        c = {"w": np.ones(3) + 1e-2}
+        assert check_replicas_consistent([a, b])
+        assert not check_replicas_consistent([a, c])
+        assert check_replicas_consistent([a])
+        assert not check_replicas_consistent([a, {"v": np.ones(3)}])

@@ -1,0 +1,158 @@
+"""Tests for the KVStore, partition servers, and the simulated RPC channel."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.cost_model import CostModel
+from repro.distributed.kvstore import KVStore
+from repro.distributed.rpc import RPCChannel, RPCStats, aggregate_rpc_stats
+from repro.distributed.server import PartitionServer
+
+
+@pytest.fixture()
+def stores():
+    """Two KVStores splitting 10 nodes with 4-dim features."""
+    features = np.arange(40, dtype=np.float32).reshape(10, 4)
+    even = np.arange(0, 10, 2)
+    odd = np.arange(1, 10, 2)
+    return {
+        0: KVStore(even, features[even], part_id=0),
+        1: KVStore(odd, features[odd], part_id=1),
+    }, features
+
+
+class TestKVStore:
+    def test_pull_returns_correct_rows(self, stores):
+        kv, features = stores
+        out = kv[0].pull(np.array([0, 4, 8]))
+        np.testing.assert_allclose(out, features[[0, 4, 8]])
+
+    def test_pull_unsorted_ids(self, stores):
+        kv, features = stores
+        out = kv[0].pull(np.array([8, 0]))
+        np.testing.assert_allclose(out, features[[8, 0]])
+
+    def test_pull_missing_raises(self, stores):
+        kv, _ = stores
+        with pytest.raises(KeyError):
+            kv[0].pull(np.array([1]))
+
+    def test_pull_empty(self, stores):
+        kv, _ = stores
+        out = kv[0].pull(np.array([], dtype=np.int64))
+        assert out.shape == (0, 4)
+
+    def test_contains(self, stores):
+        kv, _ = stores
+        np.testing.assert_array_equal(kv[0].contains(np.array([0, 1, 2])), [True, False, True])
+
+    def test_stats_local_vs_remote(self, stores):
+        kv, _ = stores
+        kv[0].pull(np.array([0]), remote=False)
+        kv[0].pull(np.array([2, 4]), remote=True)
+        stats = kv[0].stats
+        assert stats.local_pulls == 1 and stats.local_rows == 1
+        assert stats.remote_pulls == 1 and stats.remote_rows == 2
+        assert stats.bytes_served_remote == 2 * 4 * 4
+        kv[0].reset_stats()
+        assert kv[0].stats.remote_rows == 0
+
+    def test_push_updates_rows(self, stores):
+        kv, _ = stores
+        kv[0].push(np.array([0]), np.full((1, 4), 9.0, dtype=np.float32))
+        np.testing.assert_allclose(kv[0].pull(np.array([0])), 9.0)
+
+    def test_push_foreign_raises(self, stores):
+        kv, _ = stores
+        with pytest.raises(KeyError):
+            kv[0].push(np.array([1]), np.zeros((1, 4), dtype=np.float32))
+
+    def test_misaligned_construction_raises(self):
+        with pytest.raises(ValueError):
+            KVStore(np.array([0, 1]), np.zeros((3, 4), dtype=np.float32))
+
+
+class TestRPCChannel:
+    def test_local_pull(self, stores):
+        kv, features = stores
+        channel = RPCChannel(kv, local_part=0, cost_model=CostModel.cpu())
+        rows, t_copy = channel.local_pull(np.array([0, 2]))
+        np.testing.assert_allclose(rows, features[[0, 2]])
+        assert t_copy > 0
+
+    def test_remote_pull_routes_by_owner(self, stores):
+        kv, features = stores
+        channel = RPCChannel(kv, local_part=0, cost_model=CostModel.cpu())
+        ids = np.array([1, 3, 5])
+        owners = np.ones(3, dtype=np.int64)
+        rows, t_rpc, delta = channel.remote_pull(ids, owners)
+        np.testing.assert_allclose(rows, features[ids])
+        assert t_rpc > 0
+        assert delta.nodes_fetched == 3
+        assert delta.requests == 1
+
+    def test_remote_pull_rejects_local_nodes(self, stores):
+        kv, _ = stores
+        channel = RPCChannel(kv, local_part=0)
+        with pytest.raises(ValueError):
+            channel.remote_pull(np.array([0]), np.array([0]))
+
+    def test_remote_pull_empty(self, stores):
+        kv, _ = stores
+        channel = RPCChannel(kv, local_part=0)
+        rows, t, delta = channel.remote_pull(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert rows.shape == (0, 4)
+        assert t == 0.0 and delta.nodes_fetched == 0
+
+    def test_stats_accumulate(self, stores):
+        kv, _ = stores
+        channel = RPCChannel(kv, local_part=0)
+        channel.remote_pull(np.array([1]), np.array([1]))
+        channel.remote_pull(np.array([3, 5]), np.array([1, 1]))
+        assert channel.stats.nodes_fetched == 3
+        assert channel.stats.requests == 2
+        channel.reset_stats()
+        assert channel.stats.nodes_fetched == 0
+
+    def test_unknown_owner_raises(self, stores):
+        kv, _ = stores
+        channel = RPCChannel(kv, local_part=0)
+        with pytest.raises(KeyError):
+            channel.remote_pull(np.array([1]), np.array([7]))
+
+    def test_aggregate_rpc_stats(self, stores):
+        kv, _ = stores
+        a = RPCChannel(kv, local_part=0)
+        b = RPCChannel(kv, local_part=0)
+        a.remote_pull(np.array([1]), np.array([1]))
+        b.remote_pull(np.array([3, 5]), np.array([1, 1]))
+        total = aggregate_rpc_stats([a, b])
+        assert total.nodes_fetched == 3
+        assert total.requests == 2
+
+    def test_rpc_stats_merge(self):
+        merged = RPCStats(1, 2, 3, 0.5).merge(RPCStats(1, 1, 1, 0.5))
+        assert merged.requests == 2 and merged.nodes_fetched == 3
+        assert merged.simulated_time_s == pytest.approx(1.0)
+
+
+class TestPartitionServer:
+    def test_server_wraps_partition(self, small_dataset, small_partitions):
+        p = small_partitions[0]
+        server = PartitionServer(p, small_dataset.features, small_dataset.labels)
+        assert server.num_owned == p.num_owned
+        assert server.feature_dim == small_dataset.feature_dim
+        sample = p.owned_global[:5]
+        np.testing.assert_allclose(server.pull_features(sample), small_dataset.features[sample])
+        np.testing.assert_array_equal(server.pull_labels(sample), small_dataset.labels[sample])
+
+    def test_server_degrees(self, small_dataset, small_partitions):
+        p = small_partitions[0]
+        server = PartitionServer(p, small_dataset.features)
+        degs = server.node_degrees(p.owned_global[:5])
+        np.testing.assert_array_equal(degs, small_dataset.graph.out_degree(p.owned_global[:5]))
+
+    def test_labels_missing_raises(self, small_dataset, small_partitions):
+        server = PartitionServer(small_partitions[0], small_dataset.features, labels=None)
+        with pytest.raises(RuntimeError):
+            server.pull_labels(small_partitions[0].owned_global[:1])

@@ -1,0 +1,79 @@
+"""Tests for the global-id <-> (owner, local-id) partition book."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partition import PartitionResult, metis_partition
+from repro.graph.partition_book import PartitionBook
+
+
+@pytest.fixture()
+def book():
+    parts = np.array([0, 1, 0, 1, 2, 2, 0, 1], dtype=np.int64)
+    return PartitionBook(parts, 3)
+
+
+class TestOwner:
+    def test_owner_lookup(self, book):
+        np.testing.assert_array_equal(book.owner(np.array([0, 1, 4])), [0, 1, 2])
+
+    def test_owner_out_of_range(self, book):
+        with pytest.raises(ValueError):
+            book.owner(np.array([100]))
+
+    def test_is_owned(self, book):
+        mask = book.is_owned(np.array([0, 1, 2]), 0)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+
+class TestLocalGlobal:
+    def test_partition_nodes_sorted(self, book):
+        np.testing.assert_array_equal(book.partition_nodes(0), [0, 2, 6])
+
+    def test_partition_size(self, book):
+        assert book.partition_size(0) == 3
+        assert book.partition_size(2) == 2
+
+    def test_to_local_roundtrip(self, book):
+        global_ids = book.partition_nodes(1)
+        local = book.to_local(global_ids, 1)
+        back = book.to_global(local, 1)
+        np.testing.assert_array_equal(back, global_ids)
+
+    def test_to_local_rejects_foreign_nodes(self, book):
+        with pytest.raises(ValueError):
+            book.to_local(np.array([1]), 0)
+
+    def test_to_global_out_of_range(self, book):
+        with pytest.raises(ValueError):
+            book.to_global(np.array([10]), 0)
+
+    def test_group_by_owner(self, book):
+        groups = book.group_by_owner(np.array([0, 1, 4, 5, 6]))
+        np.testing.assert_array_equal(groups[0], [0, 6])
+        np.testing.assert_array_equal(groups[1], [1])
+        np.testing.assert_array_equal(groups[2], [4, 5])
+
+    def test_invalid_partition_index(self, book):
+        with pytest.raises(IndexError):
+            book.partition_nodes(5)
+
+
+class TestFromResult:
+    def test_consistency_with_partition_result(self, small_community_graph):
+        graph, _ = small_community_graph
+        result = metis_partition(graph, 3, seed=0)
+        book = PartitionBook.from_result(result)
+        assert book.num_parts == 3
+        assert book.num_nodes == graph.num_nodes
+        # Every node's owner matches the result's assignment.
+        all_nodes = np.arange(graph.num_nodes)
+        np.testing.assert_array_equal(book.owner(all_nodes), result.parts)
+        # Local id spaces are dense 0..size-1.
+        for p in range(3):
+            local = book.to_local(book.partition_nodes(p), p)
+            np.testing.assert_array_equal(np.sort(local), np.arange(book.partition_size(p)))
+
+    def test_rejects_out_of_range_parts(self):
+        with pytest.raises(ValueError):
+            PartitionBook(np.array([0, 5]), 2)

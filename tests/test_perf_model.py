@@ -1,0 +1,162 @@
+"""Tests for the analytical performance model (Eqs. 2-7) and trade-off quadrants."""
+
+import pytest
+
+from repro.core.config import PrefetchConfig
+from repro.perf import model as pm
+from repro.perf import tradeoffs as tr
+
+
+def comp(**kwargs):
+    defaults = dict(t_sampling=0.1, t_rpc=0.5, t_copy=0.05, t_ddp=1.0, t_lookup=0.01, t_scoring=0.02)
+    defaults.update(kwargs)
+    return pm.StepComponents(**defaults)
+
+
+class TestStepEquations:
+    def test_baseline_eq2(self):
+        c = comp()
+        assert pm.baseline_step_time(c) == pytest.approx(0.1 + 0.5 + 1.0)
+
+    def test_baseline_uses_max_of_rpc_copy(self):
+        c = comp(t_rpc=0.1, t_copy=0.4)
+        assert pm.baseline_step_time(c) == pytest.approx(0.1 + 0.4 + 1.0)
+
+    def test_prepare_eq3(self):
+        c = comp()
+        assert pm.prepare_time(c) == pytest.approx(0.1 + 0.01 + max(0.02, 0.5))
+
+    def test_prepare_scoring_dominates(self):
+        c = comp(t_scoring=2.0)
+        assert pm.prepare_time(c) == pytest.approx(0.1 + 0.01 + 2.0)
+
+    def test_first_step_eq4(self):
+        c = comp()
+        prep = pm.prepare_time(c)
+        assert pm.prefetch_first_step_time(c) == pytest.approx(prep + max(prep, c.t_ddp))
+
+    def test_steady_step_eq5(self):
+        c = comp()
+        assert pm.prefetch_steady_step_time(c) == pytest.approx(max(pm.prepare_time(c), 1.0))
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            pm.baseline_step_time(comp(t_rpc=-1.0))
+
+
+class TestTotalsAndSpeedups:
+    def test_total_time_baseline_linear(self):
+        c = comp()
+        assert pm.total_time(c, 10, prefetch=False) == pytest.approx(10 * pm.baseline_step_time(c))
+
+    def test_total_time_prefetch(self):
+        c = comp()
+        expected = pm.prefetch_first_step_time(c) + 9 * pm.prefetch_steady_step_time(c)
+        assert pm.total_time(c, 10, prefetch=True) == pytest.approx(expected)
+
+    def test_total_time_zero_steps(self):
+        assert pm.total_time(comp(), 0, prefetch=True) == 0.0
+
+    def test_prefetch_faster_when_overlap_possible(self):
+        c = comp()  # t_prepare < t_ddp
+        assert pm.total_time(c, 100, prefetch=True) < pm.total_time(c, 100, prefetch=False)
+
+    def test_improvement_factor_eq6(self):
+        c = comp(t_rpc=2.0, t_ddp=1.0)
+        assert pm.improvement_factor(c) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            pm.improvement_factor(comp(t_ddp=0.0))
+
+    def test_predicted_speedup_above_one_in_comm_bound_regime(self):
+        # Baseline = 0.3 + 2.0 + 1.0 = 3.3; steady prefetch step = t_prepare = 2.31.
+        c = comp(t_rpc=2.0, t_ddp=1.0, t_sampling=0.3)
+        assert pm.predicted_speedup(c) == pytest.approx(3.3 / 2.31, rel=1e-2)
+        assert pm.predicted_speedup(c) > 1.3
+
+    def test_predicted_speedup_near_one_when_compute_bound(self):
+        c = comp(t_rpc=0.001, t_copy=0.001, t_sampling=0.001, t_ddp=1.0)
+        assert pm.predicted_speedup(c) == pytest.approx(1.0, abs=0.05)
+
+    def test_perfect_overlap_predicate(self):
+        assert pm.is_perfect_overlap(comp())                       # prepare < ddp
+        assert not pm.is_perfect_overlap(comp(t_rpc=5.0))          # prepare > ddp
+
+    def test_overlap_efficiency_range(self):
+        assert pm.overlap_efficiency(comp()) == pytest.approx(1.0)
+        partial = pm.overlap_efficiency(comp(t_rpc=5.0))
+        assert 0.0 < partial < 1.0
+        assert pm.overlap_efficiency(comp(t_sampling=0, t_rpc=0, t_copy=0, t_lookup=0, t_scoring=0)) == 1.0
+
+
+class TestScoringCompounding:
+    def test_eq7_paper_example(self):
+        """The paper's example: 10% scoring cost, 100 epochs, delta=10 -> ~1.1^10 growth."""
+        out = pm.scoring_overhead_compound(1.0, 0.10, num_epochs=100, delta=10)
+        assert out == pytest.approx(1.1 ** 10)
+        assert out == pytest.approx(2.5937, rel=1e-3)
+
+    def test_eq7_monotone_in_frequency(self):
+        frequent = pm.scoring_overhead_compound(1.0, 0.1, 100, delta=5)
+        rare = pm.scoring_overhead_compound(1.0, 0.1, 100, delta=50)
+        assert frequent > rare
+
+    def test_eq7_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pm.scoring_overhead_compound(-1.0, 0.1, 10, 5)
+        with pytest.raises(ValueError):
+            pm.scoring_overhead_compound(1.0, -0.1, 10, 5)
+        with pytest.raises(ValueError):
+            pm.scoring_overhead_compound(1.0, 0.1, 10, 0)
+
+
+class TestEq9AndBreakdowns:
+    def test_communication_stall(self):
+        assert pm.communication_stall_time(0.5, 0.2) == pytest.approx(0.3)
+        assert pm.communication_stall_time(0.1, 0.2) == 0.0
+
+    def test_components_from_breakdown(self):
+        breakdown = {"sampling": 2.0, "rpc": 4.0, "copy": 1.0, "ddp": 10.0, "allreduce": 2.0,
+                     "lookup": 0.5, "scoring": 0.3, "eviction": 0.2}
+        c = pm.components_from_breakdown(breakdown, num_steps=2)
+        assert c.t_sampling == pytest.approx(1.0)
+        assert c.t_ddp == pytest.approx(6.0)
+        assert c.t_scoring == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            pm.components_from_breakdown(breakdown, 0)
+
+
+class TestTradeoffQuadrants:
+    def test_four_quadrants_distinct(self):
+        names = {
+            tr.classify_quadrant(g, d).name
+            for g, d in [(0.99, 16), (0.5, 16), (0.5, 512), (0.99, 512)]
+        }
+        assert len(names) == 4
+
+    def test_recommended_quadrant(self):
+        info = tr.classify_quadrant(0.995, 512)
+        assert info.name == "low-decay/long-interval"
+        assert "recommended" in info.expected
+
+    def test_classify_config(self):
+        config = PrefetchConfig(gamma=0.95, delta=16)
+        assert tr.classify_config(config).name == "low-decay/short-interval"
+
+    def test_expected_behaviour_string(self):
+        assert isinstance(tr.expected_behaviour(0.5, 16), str)
+
+    def test_quadrant_configs_cover_all(self):
+        configs = tr.quadrant_configs()
+        assert set(configs) == set(tr.QUADRANTS)
+        for name, config in configs.items():
+            assert tr.classify_config(config).name == name
+
+    def test_rank_quadrants(self):
+        ranked = tr.rank_quadrants_by_hit_rate({"a": 0.2, "b": 0.9, "c": 0.5})
+        assert ranked == ["b", "c", "a"]
+
+    def test_eviction_rounds_per_epoch(self):
+        assert tr.eviction_rounds_per_epoch(100, 16) == 6
+        assert tr.eviction_rounds_per_epoch(10, 16) == 0
+        with pytest.raises(ValueError):
+            tr.eviction_rounds_per_epoch(10, 0)

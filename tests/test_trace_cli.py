@@ -1,0 +1,142 @@
+"""Tests for run traces, the experiment registry, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.training.telemetry import EpochRecord, TrainingReport
+from repro.training.trace import (
+    EXPERIMENTS,
+    compare_traces,
+    get_experiment,
+    list_experiments,
+    load_trace,
+    report_to_dict,
+    save_trace,
+)
+
+
+def _report(mode="baseline", time_s=2.0, hit=0.0):
+    report = TrainingReport(
+        mode=mode, backend="cpu", dataset="arxiv", arch="sage",
+        num_machines=2, trainers_per_machine=2, epochs=2,
+        total_simulated_time_s=time_s,
+        epoch_records=[EpochRecord(0, time_s / 2, 1.5, 0.4), EpochRecord(1, time_s / 2, 1.0, 0.5)],
+        component_breakdown={"rpc": 0.5, "ddp": 1.0},
+        final_train_accuracy=0.5,
+        num_minibatches=8,
+    )
+    return report
+
+
+class TestExperimentRegistry:
+    def test_all_paper_experiments_registered(self):
+        ids = set(EXPERIMENTS)
+        expected = {"table2", "table3", "table4", "fig5", "fig6", "fig7", "fig8",
+                    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "perfmodel"}
+        assert expected <= ids
+
+    def test_bench_targets_exist_on_disk(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        for spec in list_experiments():
+            assert (root / spec.bench_target).exists(), spec.bench_target
+
+    def test_modules_are_importable(self):
+        import importlib
+
+        for spec in list_experiments():
+            for module in spec.modules:
+                importlib.import_module(module)
+
+    def test_get_experiment(self):
+        assert get_experiment("fig6").paper_reference == "Fig. 6"
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_list_is_sorted_and_stable(self):
+        ids = [s.experiment_id for s in list_experiments()]
+        assert ids == sorted(ids)
+
+
+class TestTraces:
+    def test_report_to_dict_json_serializable(self):
+        payload = report_to_dict(_report())
+        json.dumps(payload)  # must not raise
+        assert payload["total_simulated_time_s"] == 2.0
+        assert payload["epoch_loss"] == [1.5, 1.0]
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = save_trace(_report(), tmp_path / "sub" / "trace.json", metadata={"note": "x"})
+        assert path.exists()
+        loaded = load_trace(path)
+        assert loaded["metadata"]["note"] == "x"
+        assert loaded["report"]["dataset"] == "arxiv"
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError):
+            load_trace(bogus)
+
+    def test_compare_traces(self, tmp_path):
+        base_path = save_trace(_report("baseline", 2.0), tmp_path / "base.json")
+        fast_path = save_trace(_report("prefetch", 1.0), tmp_path / "fast.json")
+        cmp = compare_traces(load_trace(base_path), load_trace(fast_path))
+        assert cmp["improvement_percent"] == pytest.approx(50.0)
+        assert cmp["speedup"] == pytest.approx(2.0)
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in ("datasets", "experiments"):
+            assert parser.parse_args([command]).command == command
+        args = parser.parse_args(["run", "--dataset", "arxiv", "--epochs", "1"])
+        assert args.dataset == "arxiv" and args.epochs == 1
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "bench_fig6_training_time.py" in out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "arxiv" in out and "602" in out  # reddit's feature dim appears
+
+    def test_run_command_both_modes_with_traces(self, capsys, tmp_path):
+        code = main([
+            "run", "--dataset", "arxiv", "--scale", "0.15", "--epochs", "1",
+            "--machines", "2", "--trainers-per-machine", "1", "--batch-size", "64",
+            "--fanouts", "4", "6", "--hidden-dim", "16",
+            "--trace-dir", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert (tmp_path / "baseline.json").exists()
+        assert (tmp_path / "prefetch.json").exists()
+
+    def test_run_command_baseline_only(self, capsys):
+        code = main([
+            "run", "--dataset", "arxiv", "--scale", "0.15", "--mode", "baseline",
+            "--epochs", "1", "--machines", "2", "--trainers-per-machine", "1",
+            "--batch-size", "64", "--fanouts", "4", "6", "--hidden-dim", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[baseline]" in out and "[prefetch]" not in out
+
+    def test_sweep_command(self, capsys):
+        code = main([
+            "sweep", "--dataset", "arxiv", "--scale", "0.15", "--epochs", "1",
+            "--machines", "2", "--batch-size", "64",
+            "--halo-fractions", "0.25", "--gammas", "0.995", "--deltas", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal:" in out
