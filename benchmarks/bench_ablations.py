@@ -31,6 +31,9 @@ def test_ablation_eviction_policies(benchmark, bench_scale, bench_epochs):
         engine = TrainingEngine(cluster, TrainConfig(epochs=bench_epochs + 1, hidden_dim=32, seed=15))
         baseline = engine.run_baseline()
         out = {"__baseline__": baseline}
+        # A degree-ranked cache with the same capacity but no scoreboards: the
+        # lower bar every eviction policy must clear.
+        out["static-cache"] = engine.run_pipeline("static-cache", prefetch_config=config)
         out["no-eviction"] = engine.run_prefetch(config.without_eviction())
         for policy_name in ("score-threshold", "lru", "random"):
             out[policy_name] = engine.run_prefetch(

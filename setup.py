@@ -1,14 +1,39 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
 The offline environment this repository targets has no ``wheel`` package, so
 PEP 517 editable installs (which build a wheel) are not available.  Keeping a
-``setup.py`` allows the legacy editable install path::
+metadata-bearing ``setup.py`` allows the legacy editable install path::
 
     pip install -e . --no-build-isolation --no-use-pep517
 
-All project metadata lives in ``pyproject.toml``.
+which also puts the ``repro`` console script on PATH (equivalent to
+``python -m repro``).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _read_version() -> str:
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__ = "([^"]+)"', init.read_text(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("could not find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-massivegnn",
+    version=_read_version(),
+    description=(
+        "MassiveGNN reproduction: prefetching and eviction for distributed GNN "
+        "training (CLUSTER 2024), in pure Python/NumPy"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -33,16 +33,40 @@ Quickstart::
 
 from repro.core import PrefetchConfig, Prefetcher
 from repro.distributed import ClusterConfig, CostModel, SimCluster
+from repro.features import (
+    FEATURE_SOURCES,
+    BufferedSource,
+    FeatureSource,
+    FeatureStore,
+    FetchResult,
+    FetchStats,
+    LocalKVStoreSource,
+    RemoteRPCSource,
+    SourceContext,
+    StaticDegreeCacheSource,
+    build_feature_source,
+)
 from repro.graph import GraphDataset, available_datasets, load_dataset
+from repro.sampling import (
+    BatchStage,
+    FetchFeatureStage,
+    MiniBatchPipeline,
+    PipelineBatch,
+    SampleStage,
+    SeedStage,
+)
 from repro.training import (
+    PIPELINES,
     TrainConfig,
     TrainingReport,
+    build_pipeline,
     compare_baseline_and_prefetch,
     train_baseline,
     train_massive,
+    train_with_pipeline,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PrefetchConfig",
@@ -50,13 +74,33 @@ __all__ = [
     "ClusterConfig",
     "CostModel",
     "SimCluster",
+    "FEATURE_SOURCES",
+    "BufferedSource",
+    "FeatureSource",
+    "FeatureStore",
+    "FetchResult",
+    "FetchStats",
+    "LocalKVStoreSource",
+    "RemoteRPCSource",
+    "SourceContext",
+    "StaticDegreeCacheSource",
+    "build_feature_source",
     "GraphDataset",
     "available_datasets",
     "load_dataset",
+    "BatchStage",
+    "FetchFeatureStage",
+    "MiniBatchPipeline",
+    "PipelineBatch",
+    "SampleStage",
+    "SeedStage",
+    "PIPELINES",
     "TrainConfig",
     "TrainingReport",
+    "build_pipeline",
     "compare_baseline_and_prefetch",
     "train_baseline",
     "train_massive",
+    "train_with_pipeline",
     "__version__",
 ]

@@ -9,7 +9,9 @@ Commands
     modules involved (the DESIGN.md experiment index, from code).
 ``run``
     Train baseline and/or prefetch pipelines on one dataset and print a
-    Fig. 6-style comparison; optionally save JSON traces.
+    Fig. 6-style comparison; optionally save JSON traces.  ``--pipeline``
+    runs any single pipeline registered in
+    :data:`repro.training.pipelines.PIPELINES` instead.
 ``sweep``
     Grid-search (f_h, γ, Δ) and print the Table IV-style optimum.
 """
@@ -21,13 +23,15 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro import viz
+from repro import __version__, viz
 from repro.core.config import PrefetchConfig
+from repro.core.eviction import EVICTION_POLICIES, build_eviction_policy
 from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
 from repro.graph.datasets import available_datasets, load_dataset
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
+from repro.training.pipelines import PIPELINES
 from repro.training.sweep import find_optimal, run_parameter_sweep
 from repro.training.trace import list_experiments, save_trace
 from repro.utils.logging_utils import format_table
@@ -38,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="MassiveGNN reproduction: prefetch/eviction for distributed GNN training",
     )
+    parser.add_argument(
+        "--version", action="version", version=__version__,
+        help="print the repro package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list dataset analogs and their statistics")
@@ -47,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dataset", default="products", choices=available_datasets())
     run.add_argument("--scale", type=float, default=0.25, help="dataset scale multiplier")
     run.add_argument("--mode", default="both", choices=["baseline", "prefetch", "both"])
+    run.add_argument(
+        "--pipeline", default=None, choices=PIPELINES.names(),
+        help="run one registered pipeline instead of the --mode comparison",
+    )
+    run.add_argument(
+        "--eviction-policy", default=None, choices=EVICTION_POLICIES.names(),
+        help="eviction policy for the prefetch buffer (default: the config's, score-threshold)",
+    )
     run.add_argument("--backend", default="cpu", choices=["cpu", "gpu"])
     run.add_argument("--machines", type=int, default=2)
     run.add_argument("--trainers-per-machine", type=int, default=2)
@@ -132,7 +148,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     prefetch_config = PrefetchConfig(
         halo_fraction=args.halo_fraction, gamma=args.gamma, delta=args.delta,
         eviction_enabled=not args.no_eviction,
+        eviction_policy=args.eviction_policy or "score-threshold",
     )
+    eviction_policy = (
+        build_eviction_policy(args.eviction_policy, seed=args.seed)
+        if args.eviction_policy
+        else None
+    )
+
+    if args.pipeline is not None:
+        report = engine.run_pipeline(
+            args.pipeline, prefetch_config=prefetch_config, eviction_policy=eviction_policy
+        )
+        hit = f", hit rate {report.hit_rate:.3f}" if report.hit_tracker is not None else ""
+        print(f"[{report.mode}] simulated time {report.total_simulated_time_s:.4f}s, "
+              f"train acc {report.final_train_accuracy:.3f}{hit}")
+        if args.trace_dir is not None:
+            metadata = {"dataset": args.dataset, "scale": args.scale, "backend": args.backend}
+            save_trace(report, args.trace_dir / f"{report.mode}.json", metadata)
+            print(f"\ntraces written to {args.trace_dir}")
+        return 0
 
     baseline = prefetch = None
     if args.mode in ("baseline", "both"):
@@ -140,7 +175,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"[baseline] simulated time {baseline.total_simulated_time_s:.4f}s, "
               f"train acc {baseline.final_train_accuracy:.3f}")
     if args.mode in ("prefetch", "both"):
-        prefetch = engine.run_prefetch(prefetch_config)
+        prefetch = engine.run_prefetch(prefetch_config, eviction_policy=eviction_policy)
         print(f"[prefetch] simulated time {prefetch.total_simulated_time_s:.4f}s, "
               f"train acc {prefetch.final_train_accuracy:.3f}, hit rate {prefetch.hit_rate:.3f}")
     if baseline is not None and prefetch is not None:

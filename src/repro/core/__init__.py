@@ -16,6 +16,7 @@ from repro.core.lookahead import (
     steady_state_step_time,
 )
 from repro.core.eviction import (
+    EVICTION_POLICIES,
     EvictionPolicy,
     LRUPolicy,
     NoEvictionPolicy,
@@ -54,6 +55,7 @@ __all__ = [
     "PAPER_GAMMAS",
     "PAPER_HALO_FRACTIONS",
     "PrefetchConfig",
+    "EVICTION_POLICIES",
     "EvictionPolicy",
     "LRUPolicy",
     "NoEvictionPolicy",

@@ -35,6 +35,12 @@ class PrefetchConfig:
     look_ahead: int = 1
     initial_eviction_score: float = 1.0
     min_buffer_slots: int = 1
+    # Registry names (see repro.core.eviction.EVICTION_POLICIES and
+    # repro.features.FEATURE_SOURCES): which eviction policy the prefetcher
+    # builds by default, and which source serves the halo data path in the
+    # prefetch pipeline.
+    eviction_policy: str = "score-threshold"
+    halo_source: str = "buffered"
 
     def __post_init__(self) -> None:
         check_fraction(self.halo_fraction, "halo_fraction")
@@ -46,6 +52,15 @@ class PrefetchConfig:
             raise ValueError(f"scoreboard must be 'dense' or 'compact', got {self.scoreboard!r}")
         if self.alpha is not None and self.alpha < 0:
             raise ValueError("alpha must be non-negative")
+        # Resolve registry names eagerly so a typo fails at construction, not
+        # mid-run.  Both registries are imported lazily because their modules
+        # sit above repro.core in the import graph.
+        from repro.core.eviction import EVICTION_POLICIES
+
+        EVICTION_POLICIES.resolve(self.eviction_policy)
+        from repro.features.sources import FEATURE_SOURCES
+
+        FEATURE_SOURCES.resolve(self.halo_source)
 
     @property
     def effective_alpha(self) -> float:
@@ -72,6 +87,8 @@ class PrefetchConfig:
             look_ahead=self.look_ahead,
             initial_eviction_score=self.initial_eviction_score,
             min_buffer_slots=self.min_buffer_slots,
+            eviction_policy=self.eviction_policy,
+            halo_source=self.halo_source,
         )
 
     def describe(self) -> str:

@@ -17,6 +17,7 @@ from typing import Optional, Protocol
 import numpy as np
 
 from repro.core.scoreboard import EvictionScores
+from repro.utils.registry import Registry
 from repro.utils.rng import SeedLike, ensure_rng
 
 
@@ -86,14 +87,21 @@ class NoEvictionPolicy:
         return np.zeros(0, dtype=np.int64)
 
 
+EVICTION_POLICIES = Registry("eviction policy")
+EVICTION_POLICIES.register(
+    "score-threshold", lambda seed=None: ScoreThresholdPolicy(), aliases=("score", "paper")
+)
+EVICTION_POLICIES.register("lru", lambda seed=None: LRUPolicy())
+EVICTION_POLICIES.register("random", lambda seed=None: RandomEvictionPolicy(seed=seed))
+EVICTION_POLICIES.register(
+    "none", lambda seed=None: NoEvictionPolicy(), aliases=("no-eviction",)
+)
+
+
 def build_eviction_policy(name: str, seed: SeedLike = None) -> EvictionPolicy:
-    """Factory: ``score-threshold`` (default), ``lru``, ``random``, or ``none``."""
-    if name in ("score-threshold", "score", "paper"):
-        return ScoreThresholdPolicy()
-    if name == "lru":
-        return LRUPolicy()
-    if name == "random":
-        return RandomEvictionPolicy(seed=seed)
-    if name in ("none", "no-eviction"):
-        return NoEvictionPolicy()
-    raise ValueError(f"unknown eviction policy {name!r}")
+    """Factory: ``score-threshold`` (default), ``lru``, ``random``, or ``none``.
+
+    Backed by :data:`EVICTION_POLICIES`; unknown names raise a ``ValueError``
+    listing every registered policy.
+    """
+    return EVICTION_POLICIES.build(name, seed=seed)

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.buffer import PrefetchBuffer
 from repro.core.config import PrefetchConfig
-from repro.core.eviction import EvictionPolicy, ScoreThresholdPolicy
+from repro.core.eviction import EvictionPolicy, build_eviction_policy
 from repro.core.metrics import HitRateTracker, PrefetchCounters
 from repro.core.scoreboard import EvictionScores, make_access_scoreboard
 from repro.distributed.rpc import RPCChannel
@@ -101,7 +101,9 @@ class Prefetcher:
         self.config = config
         self.rpc = rpc
         self.num_global_nodes = int(num_global_nodes)
-        self.eviction_policy = eviction_policy or ScoreThresholdPolicy()
+        # Fall back to the policy named in the config ("score-threshold" by
+        # default — the paper's Algorithm 2).
+        self.eviction_policy = eviction_policy or build_eviction_policy(config.eviction_policy)
         # Degrees indexed by global id (needed for init and replacement ties).
         if global_degrees is not None:
             self._global_degrees = np.asarray(global_degrees, dtype=np.int64)
@@ -213,53 +215,42 @@ class Prefetcher:
         nodes_evicted = 0
         nodes_replaced = 0
 
-        is_eviction_step = (
+        eviction_round = (
             self.config.eviction_enabled
             and self.buffer.capacity > 0
             and step > 0
             and step % self.config.delta == 0
         )
 
-        if is_eviction_step:
-            eviction_round = True
+        # Misses update S_A first in every step kind — on eviction steps this
+        # happens before the eviction assessment, so fresh demand influences
+        # the replacement choice.
+        unique_miss, miss_counts = np.unique(miss_ids, return_counts=True)
+        if len(unique_miss):
+            self._increment_access(unique_miss, miss_counts)
+            scoring_nodes += len(unique_miss)
+
+        evict_slots = np.zeros(0, dtype=np.int64)
+        replacement_ids = np.zeros(0, dtype=np.int64)
+        if eviction_round:
             self.counters.eviction_rounds += 1
-            # Misses still update S_A before the eviction assessment so fresh
-            # demand influences the replacement choice.
-            if len(miss_ids):
-                unique_miss, miss_counts = np.unique(miss_ids, return_counts=True)
-                self._increment_access(unique_miss, miss_counts)
-                scoring_nodes += len(unique_miss)
             evict_slots, replacement_ids = self._plan_eviction(step)
             nodes_evicted = len(evict_slots)
             nodes_replaced = len(replacement_ids)
-            fetch_ids = np.union1d(np.unique(miss_ids), replacement_ids)
-            if len(fetch_ids):
-                rows, rpc_time, _ = self._fetch_remote(fetch_ids)
-                remote_fetched = len(fetch_ids)
-                row_of = {int(g): i for i, g in enumerate(fetch_ids)}
-                if len(miss_rows):
-                    miss_positions = np.array([row_of[int(g)] for g in miss_ids], dtype=np.int64)
-                    features[miss_rows] = rows[miss_positions]
-                if len(replacement_ids):
-                    repl_positions = np.array(
-                        [row_of[int(g)] for g in replacement_ids], dtype=np.int64
-                    )
-                    self._apply_eviction(evict_slots, replacement_ids, rows[repl_positions], step)
-            elif len(evict_slots):
-                # Nothing to fetch (no misses, no replacements) — nothing to do.
-                pass
-            self.counters.remote_nodes_for_misses += int(len(np.unique(miss_ids)))
-            self.counters.remote_nodes_for_replacement += int(nodes_replaced)
-        else:
-            if len(miss_ids):
-                unique_miss, miss_counts = np.unique(miss_ids, return_counts=True)
-                self._increment_access(unique_miss, miss_counts)
-                scoring_nodes += len(unique_miss)
-                rows, rpc_time, _ = self._fetch_remote(unique_miss)
-                remote_fetched = len(unique_miss)
-                pos = np.searchsorted(unique_miss, miss_ids)
-                features[miss_rows] = rows[pos]
-                self.counters.remote_nodes_for_misses += int(len(unique_miss))
+
+        # One combined RPC serves both this step's misses and the eviction
+        # round's replacement rows (union1d keeps the ids sorted and unique).
+        fetch_ids = np.union1d(unique_miss, replacement_ids)
+        if len(fetch_ids):
+            rows, rpc_time, _ = self._fetch_remote(fetch_ids)
+            remote_fetched = len(fetch_ids)
+            if len(miss_rows):
+                features[miss_rows] = rows[np.searchsorted(fetch_ids, miss_ids)]
+            if len(replacement_ids):
+                repl_rows = rows[np.searchsorted(fetch_ids, replacement_ids)]
+                self._apply_eviction(evict_slots, replacement_ids, repl_rows, step)
+        self.counters.remote_nodes_for_misses += int(len(unique_miss))
+        self.counters.remote_nodes_for_replacement += int(nodes_replaced)
 
         self.counters.remote_nodes_fetched += int(remote_fetched)
         self.counters.nodes_evicted += int(nodes_evicted)

@@ -1,0 +1,374 @@
+"""Concrete feature sources: local KVStore, remote RPC, prefetch buffer, static cache.
+
+Each source implements the :class:`~repro.features.source.FeatureSource`
+protocol over a different data path:
+
+* :class:`LocalKVStoreSource` — memory copies from the trainer's co-located
+  partition server (the local half of both pipelines);
+* :class:`RemoteRPCSource` — every row pulled from its owning partition over
+  simulated RPC (the DistDGL baseline halo path, Eq. 2);
+* :class:`BufferedSource` — wraps a :class:`~repro.core.prefetcher.Prefetcher`
+  so Algorithms 1–2 (scored prefetch + eviction) serve the halo path, with the
+  prefetcher's exact operation counts surfaced as :class:`FetchStats`;
+* :class:`StaticDegreeCacheSource` — a degree-ranked cache populated once and
+  never updated: the natural ablation showing why continuous eviction beats a
+  static cache under stochastic neighbor sampling.
+
+Sources are registered in :data:`FEATURE_SOURCES` and built by name from a
+:class:`SourceContext` via :func:`build_feature_source`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PrefetchConfig
+from repro.core.eviction import EvictionPolicy, build_eviction_policy
+from repro.core.metrics import HitRateTracker
+from repro.core.prefetcher import Prefetcher
+from repro.distributed.cost_model import BYTES_PER_FEATURE
+from repro.distributed.rpc import RPCChannel
+from repro.features.source import FetchStats
+from repro.graph.halo import GraphPartition
+from repro.graph.partition_book import PartitionBook
+from repro.utils.registry import Registry
+from repro.utils.validation import check_1d_int_array
+
+
+def halo_owners(partition: GraphPartition, global_ids: np.ndarray) -> np.ndarray:
+    """Owning partition of each halo node, validating membership.
+
+    Ids that are not halo neighbors of *partition* (e.g. nodes of a
+    non-adjacent partition) have no entry in the halo tables; a blind
+    ``searchsorted`` would silently return a wrong owner, so reject them.
+    """
+    if len(global_ids) == 0:
+        return np.zeros(0, dtype=np.int64)
+    idx = np.searchsorted(partition.halo_global, global_ids)
+    in_range = idx < len(partition.halo_global)
+    valid = in_range.copy()
+    valid[in_range] = partition.halo_global[idx[in_range]] == global_ids[in_range]
+    if not np.all(valid):
+        missing = global_ids[~valid][:5]
+        raise KeyError(
+            f"nodes {missing.tolist()} are not halo neighbors of partition "
+            f"{partition.part_id}; cannot resolve their owners"
+        )
+    return partition.halo_owner[idx]
+
+
+class LocalKVStoreSource:
+    """Rows owned by the trainer's partition, served as local memory copies."""
+
+    name = "local-kvstore"
+
+    def __init__(self, rpc: RPCChannel):
+        self.rpc = rpc
+        self._rows_served = 0
+        self._calls = 0
+
+    @property
+    def feature_dim(self) -> int:
+        return self.rpc.servers[self.rpc.local_part].feature_dim
+
+    def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
+        rows, copy_time = self.rpc.local_pull(global_ids)
+        self._rows_served += int(len(global_ids))
+        self._calls += 1
+        stats = FetchStats(
+            source=self.name,
+            num_requested=int(len(global_ids)),
+            num_hits=int(len(global_ids)),
+            copy_time_s=copy_time,
+        )
+        return rows, stats
+
+    def nbytes(self) -> int:
+        # The co-located partition server's memory is shared by every trainer
+        # on the machine; this source pins nothing extra trainer-side.
+        return 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "calls": float(self._calls),
+            "rows_served": float(self._rows_served),
+            "server_nbytes": float(self.rpc.servers[self.rpc.local_part].nbytes()),
+        }
+
+
+class RemoteRPCSource:
+    """Every requested row is pulled over RPC from its owning partition."""
+
+    name = "remote-rpc"
+
+    def __init__(self, rpc: RPCChannel, owner_of: Callable[[np.ndarray], np.ndarray]):
+        self.rpc = rpc
+        self.owner_of = owner_of
+        self._rows_served = 0
+        self._calls = 0
+
+    @classmethod
+    def from_book(cls, rpc: RPCChannel, book: PartitionBook) -> "RemoteRPCSource":
+        """Route ownership lookups through the cluster's partition book."""
+        return cls(rpc, owner_of=book.owner)
+
+    @classmethod
+    def from_partition(cls, rpc: RPCChannel, partition: GraphPartition) -> "RemoteRPCSource":
+        """Route ownership lookups through the partition's halo tables."""
+        return cls(rpc, owner_of=lambda global_ids: halo_owners(partition, global_ids))
+
+    def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
+        global_ids = check_1d_int_array(global_ids, "global_ids")
+        if len(global_ids) == 0:
+            owners = np.zeros(0, dtype=np.int64)
+        else:
+            owners = self.owner_of(global_ids)
+        rows, rpc_time, delta = self.rpc.remote_pull(global_ids, owners)
+        self._rows_served += int(len(global_ids))
+        self._calls += 1
+        stats = FetchStats(
+            source=self.name,
+            num_requested=int(len(global_ids)),
+            num_misses=int(len(global_ids)),
+            rpc_time_s=rpc_time,
+            bytes_fetched=int(delta.bytes_fetched),
+            remote_nodes_fetched=int(len(global_ids)),
+        )
+        return rows, stats
+
+    def nbytes(self) -> int:
+        return 0  # nothing cached trainer-side
+
+    def summary(self) -> Dict[str, float]:
+        return {"calls": float(self._calls), "rows_served": float(self._rows_served)}
+
+
+class BufferedSource:
+    """The MassiveGNN data path: a scored prefetch buffer in front of RPC.
+
+    Wraps one per-trainer :class:`Prefetcher` and preserves its Algorithm 1/2
+    semantics exactly — the buffer lookup, S_E decay, S_A increments, the Δ-step
+    eviction rounds, and every operation count the cost model charges for.  The
+    prefetcher's lifetime step counter (which drives Δ) advances once per
+    ``fetch`` call, i.e. once per minibatch.
+    """
+
+    name = "buffered"
+
+    def __init__(self, prefetcher: Prefetcher):
+        self.prefetcher = prefetcher
+        self._step = 0
+
+    @property
+    def tracker(self) -> HitRateTracker:
+        return self.prefetcher.tracker
+
+    def initialize(self) -> Dict[str, float]:
+        """Populate the buffer (one-time RPC); returns the Fig. 8 init report."""
+        return self.prefetcher.initialize().as_dict()
+
+    def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
+        result = self.prefetcher.process_minibatch(global_ids, step=self._step)
+        self._step += 1
+        stats = FetchStats(
+            source=self.name,
+            num_requested=result.num_requested,
+            num_hits=result.num_hits,
+            num_misses=result.num_misses,
+            rpc_time_s=result.rpc_time_s,
+            bytes_fetched=int(
+                result.remote_nodes_fetched * result.features.shape[1] * BYTES_PER_FEATURE
+            ),
+            remote_nodes_fetched=result.remote_nodes_fetched,
+            lookup_nodes=result.lookup_nodes,
+            scoring_nodes=result.scoring_nodes,
+            eviction_round=result.eviction_round,
+            nodes_evicted=result.nodes_evicted,
+            nodes_replaced=result.nodes_replaced,
+            buffer_capacity=result.buffer_capacity,
+        )
+        return result.features, stats
+
+    def nbytes(self) -> int:
+        return self.prefetcher.buffer_nbytes() + self.prefetcher.scoreboard_nbytes()
+
+    def summary(self) -> Dict[str, float]:
+        return self.prefetcher.summary()
+
+
+class StaticDegreeCacheSource:
+    """A top-degree halo cache populated once at initialization, never updated.
+
+    The counterpoint to :class:`BufferedSource`: identical capacity and the
+    same degree-ranked initial population, but no scoreboards and no eviction.
+    Because neighbor sampling is stochastic, a static cache's hit rate decays
+    over training — the phenomenon that motivates the paper's continuous
+    prefetch-and-eviction scheme (Section I).
+    """
+
+    name = "static-cache"
+
+    def __init__(self, rpc: RPCChannel, partition: GraphPartition, capacity: int):
+        self.rpc = rpc
+        self.partition = partition
+        self.capacity = int(capacity)
+        self.tracker = HitRateTracker()
+        self._cached_ids = np.zeros(0, dtype=np.int64)
+        self._cached_rows: Optional[np.ndarray] = None
+        self._remote_nodes_fetched = 0
+        self._initialized = False
+
+    def initialize(self) -> Dict[str, float]:
+        """Pull the top-degree halo rows once; returns a Fig. 8-style init report."""
+        halo = self.partition.halo_global
+        feature_dim = self.rpc.servers[self.rpc.local_part].feature_dim
+        capacity = min(self.capacity, len(halo))
+        rpc_time = 0.0
+        bytes_fetched = 0
+        if capacity > 0:
+            order = np.argsort(-self.partition.halo_degrees(), kind="stable")
+            selected = np.sort(halo[order[:capacity]])
+            rows, rpc_time, delta = self.rpc.remote_pull(
+                selected, halo_owners(self.partition, selected)
+            )
+            self._cached_ids = selected
+            self._cached_rows = rows
+            bytes_fetched = int(delta.bytes_fetched)
+            self._remote_nodes_fetched += int(len(selected))
+        else:
+            self._cached_rows = np.zeros((0, feature_dim), dtype=np.float32)
+        self._initialized = True
+        return {
+            "num_prefetched": float(len(self._cached_ids)),
+            "buffer_capacity": float(capacity),
+            "rpc_time_s": rpc_time,
+            "bytes_fetched": float(bytes_fetched),
+            "buffer_nbytes": float(self.nbytes()),
+            "scoreboard_nbytes": 0.0,
+            "num_halo_nodes": float(len(halo)),
+        }
+
+    def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
+        if not self._initialized:
+            raise RuntimeError("StaticDegreeCacheSource.initialize() must be called before use")
+        global_ids = check_1d_int_array(global_ids, "global_ids")
+        feature_dim = self._cached_rows.shape[1]
+        features = np.zeros((len(global_ids), feature_dim), dtype=np.float32)
+
+        if len(self._cached_ids):
+            idx = np.searchsorted(self._cached_ids, global_ids)
+            idx = np.minimum(idx, len(self._cached_ids) - 1)
+            hit_mask = self._cached_ids[idx] == global_ids
+        else:
+            hit_mask = np.zeros(len(global_ids), dtype=bool)
+        hit_rows = np.nonzero(hit_mask)[0]
+        miss_rows = np.nonzero(~hit_mask)[0]
+        if len(hit_rows):
+            features[hit_rows] = self._cached_rows[idx[hit_rows]]
+
+        rpc_time = 0.0
+        bytes_fetched = 0
+        remote_fetched = 0
+        if len(miss_rows):
+            unique_miss = np.unique(global_ids[miss_rows])
+            rows, rpc_time, delta = self.rpc.remote_pull(
+                unique_miss, halo_owners(self.partition, unique_miss)
+            )
+            pos = np.searchsorted(unique_miss, global_ids[miss_rows])
+            features[miss_rows] = rows[pos]
+            bytes_fetched = int(delta.bytes_fetched)
+            remote_fetched = int(len(unique_miss))
+            self._remote_nodes_fetched += remote_fetched
+
+        self.tracker.record(len(hit_rows), len(miss_rows))
+        stats = FetchStats(
+            source=self.name,
+            num_requested=int(len(global_ids)),
+            num_hits=int(len(hit_rows)),
+            num_misses=int(len(miss_rows)),
+            rpc_time_s=rpc_time,
+            bytes_fetched=bytes_fetched,
+            remote_nodes_fetched=remote_fetched,
+            lookup_nodes=int(len(global_ids)),
+            buffer_capacity=int(len(self._cached_ids)),
+        )
+        return features, stats
+
+    def nbytes(self) -> int:
+        rows = self._cached_rows.nbytes if self._cached_rows is not None else 0
+        return int(rows + self._cached_ids.nbytes)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "hit_rate": self.tracker.cumulative_hit_rate,
+            "buffer_capacity": float(len(self._cached_ids)),
+            "buffer_nbytes": float(self.nbytes()),
+            "remote_nodes_fetched": float(self._remote_nodes_fetched),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Registry: sources constructible by name from configs / CLI / benchmarks
+# --------------------------------------------------------------------------- #
+@dataclass
+class SourceContext:
+    """Everything a feature-source factory may need for one trainer."""
+
+    rpc: RPCChannel
+    partition: GraphPartition
+    num_global_nodes: int = 0
+    book: Optional[PartitionBook] = None
+    prefetch_config: Optional[PrefetchConfig] = None
+    eviction_policy: Optional[EvictionPolicy] = None
+    seed: Optional[int] = None
+
+    def require_prefetch_config(self, source_name: str) -> PrefetchConfig:
+        if self.prefetch_config is None:
+            raise ValueError(f"feature source {source_name!r} requires a PrefetchConfig")
+        return self.prefetch_config
+
+
+FEATURE_SOURCES = Registry("feature source")
+
+
+@FEATURE_SOURCES.register("local-kvstore", aliases=("local",))
+def _build_local(ctx: SourceContext) -> LocalKVStoreSource:
+    return LocalKVStoreSource(ctx.rpc)
+
+
+@FEATURE_SOURCES.register("remote-rpc", aliases=("remote", "rpc"))
+def _build_remote(ctx: SourceContext) -> RemoteRPCSource:
+    if ctx.book is not None:
+        return RemoteRPCSource.from_book(ctx.rpc, ctx.book)
+    return RemoteRPCSource.from_partition(ctx.rpc, ctx.partition)
+
+
+@FEATURE_SOURCES.register("buffered", aliases=("buffer", "prefetcher"))
+def _build_buffered(ctx: SourceContext) -> BufferedSource:
+    config = ctx.require_prefetch_config("buffered")
+    policy = ctx.eviction_policy
+    if policy is None:
+        policy = build_eviction_policy(config.eviction_policy, seed=ctx.seed)
+    prefetcher = Prefetcher(
+        partition=ctx.partition,
+        config=config,
+        rpc=ctx.rpc,
+        num_global_nodes=ctx.num_global_nodes,
+        eviction_policy=policy,
+    )
+    return BufferedSource(prefetcher)
+
+
+@FEATURE_SOURCES.register("static-cache", aliases=("static", "static-degree"))
+def _build_static_cache(ctx: SourceContext) -> StaticDegreeCacheSource:
+    config = ctx.require_prefetch_config("static-cache")
+    capacity = config.buffer_capacity(ctx.partition.num_halo)
+    return StaticDegreeCacheSource(ctx.rpc, ctx.partition, capacity)
+
+
+def build_feature_source(name: str, ctx: SourceContext):
+    """Build a registered feature source by name for one trainer's context."""
+    return FEATURE_SOURCES.build(name, ctx)

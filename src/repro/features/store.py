@@ -1,0 +1,133 @@
+"""The :class:`FeatureStore`: route minibatch node ids to composed sources.
+
+A feature store owns two :class:`~repro.features.source.FeatureSource`\\ s —
+one for the rows the trainer's partition owns (served as memory copies) and
+one for halo rows (served by whatever data path the pipeline is configured
+with: plain RPC, the MassiveGNN prefetch buffer, a static cache, ...).  Its
+job per minibatch is the DGL ``DistTensor``-shaped contract: *here are the
+input nodes, give me one aligned feature matrix and tell me what it cost*,
+with per-source accounting aggregated into a
+:class:`~repro.features.source.FetchResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.features.source import FeatureSource, FetchResult, FetchStats
+from repro.graph.halo import GraphPartition
+from repro.sampling.neighbor_sampler import split_local_halo
+
+LOCAL_ROLE = "local"
+HALO_ROLE = "halo"
+
+
+class FeatureStore:
+    """Route a minibatch's input nodes to local vs. halo feature sources."""
+
+    def __init__(
+        self,
+        partition: GraphPartition,
+        local_source: FeatureSource,
+        halo_source: FeatureSource,
+    ):
+        self.partition = partition
+        self.local_source = local_source
+        self.halo_source = halo_source
+        self._owned_sorted = np.sort(partition.owned_global)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def sources(self) -> Dict[str, FeatureSource]:
+        """Role -> source mapping (roles are ``"local"`` and ``"halo"``)."""
+        return {LOCAL_ROLE: self.local_source, HALO_ROLE: self.halo_source}
+
+    @property
+    def feature_dim(self) -> int:
+        return self.local_source.feature_dim  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    def initialize(self) -> Optional[Dict[str, float]]:
+        """One-time population of sources that need it (e.g. prefetch buffers).
+
+        Returns the halo source's init report (Fig. 8) or ``None`` when the
+        composed sources need no initialization.
+        """
+        report: Optional[Dict[str, float]] = None
+        for source in (self.local_source, self.halo_source):
+            init = getattr(source, "initialize", None)
+            if init is not None:
+                out = init()
+                if out is not None:
+                    report = out
+        return report
+
+    def fetch_minibatch(self, minibatch) -> Tuple[np.ndarray, FetchResult]:
+        """Assemble the input feature matrix for one sampled minibatch.
+
+        ``minibatch`` needs ``input_local``, ``input_global`` and
+        ``num_input_nodes`` (a :class:`~repro.sampling.block.MiniBatch`).  Rows
+        of the returned matrix align with the minibatch's input-node order.
+        """
+        local_ids, halo_ids, local_rows, halo_rows = split_local_halo(self.partition, minibatch)
+
+        features = np.zeros((minibatch.num_input_nodes, self.feature_dim), dtype=np.float32)
+        rows, local_stats = self.local_source.fetch(local_ids)
+        features[local_rows] = rows
+        rows, halo_stats = self.halo_source.fetch(halo_ids)
+        features[halo_rows] = rows
+
+        return features, FetchResult(per_source={LOCAL_ROLE: local_stats, HALO_ROLE: halo_stats})
+
+    def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
+        """Protocol-compatible fetch: route arbitrary global ids by ownership."""
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        # Ownership, not structural presence: halo nodes are *contained* in the
+        # partition's local graph but their features live on other machines.
+        if len(self._owned_sorted):
+            idx = np.minimum(
+                np.searchsorted(self._owned_sorted, global_ids), len(self._owned_sorted) - 1
+            )
+            is_local = self._owned_sorted[idx] == global_ids
+        else:
+            is_local = np.zeros(len(global_ids), dtype=bool)
+        local_rows = np.nonzero(is_local)[0]
+        halo_rows = np.nonzero(~is_local)[0]
+        features = np.zeros((len(global_ids), self.feature_dim), dtype=np.float32)
+        rows, local_stats = self.local_source.fetch(global_ids[local_rows])
+        features[local_rows] = rows
+        rows, halo_stats = self.halo_source.fetch(global_ids[halo_rows])
+        features[halo_rows] = rows
+        return features, local_stats.merge(halo_stats)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry pass-throughs (engine and benchmarks read these).
+    # ------------------------------------------------------------------ #
+    @property
+    def tracker(self):
+        """The halo source's hit-rate tracker, if it keeps one."""
+        return getattr(self.halo_source, "tracker", None)
+
+    @property
+    def prefetcher(self):
+        """The wrapped Prefetcher when the halo path is buffer-backed."""
+        return getattr(self.halo_source, "prefetcher", None)
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        tracker = self.tracker
+        return tracker.cumulative_hit_rate if tracker is not None else None
+
+    def nbytes(self) -> int:
+        """Trainer-side memory pinned by the composed sources."""
+        return int(sum(source.nbytes() for source in self.sources.values()))
+
+    def summary(self) -> Dict[str, float]:
+        """Flat per-source counter dump (keys prefixed with the source role)."""
+        out: Dict[str, float] = {"nbytes": float(self.nbytes())}
+        for role, source in self.sources.items():
+            for key, value in source.summary().items():
+                out[f"{role}.{key}"] = float(value)
+        return out

@@ -1,4 +1,4 @@
-"""Minibatch sampling: blocks (MFGs), neighbor sampler, seeds, data loader."""
+"""Minibatch sampling: blocks (MFGs), neighbor sampler, seeds, loader, pipeline."""
 
 from repro.sampling.block import Block, MiniBatch
 from repro.sampling.dataloader import DistDataLoader
@@ -6,6 +6,15 @@ from repro.sampling.neighbor_sampler import (
     NeighborSampler,
     sample_for_partition,
     split_local_halo,
+)
+from repro.sampling.pipeline import (
+    BatchStage,
+    FetchFeatureStage,
+    MiniBatchPipeline,
+    PipelineBatch,
+    PipelineStage,
+    SampleStage,
+    SeedStage,
 )
 from repro.sampling.seeds import SeedIterator, SeedPartitioner, minibatches_per_trainer
 
@@ -16,6 +25,13 @@ __all__ = [
     "NeighborSampler",
     "sample_for_partition",
     "split_local_halo",
+    "BatchStage",
+    "FetchFeatureStage",
+    "MiniBatchPipeline",
+    "PipelineBatch",
+    "PipelineStage",
+    "SampleStage",
+    "SeedStage",
     "SeedIterator",
     "SeedPartitioner",
     "minibatches_per_trainer",

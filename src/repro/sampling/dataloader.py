@@ -65,17 +65,26 @@ class DistDataLoader:
     def num_batches_per_epoch(self) -> int:
         return self.seed_iterator.num_batches
 
+    def sample(self, seeds: np.ndarray) -> MiniBatch:
+        """Sample one minibatch for *seeds*, advancing the lifetime step counter.
+
+        Both :meth:`epoch` and the pipeline's
+        :class:`~repro.sampling.pipeline.SampleStage` route through here, so
+        the two data paths share one sampler RNG stream and step sequence.
+        """
+        minibatch = self.sampler.sample(
+            seeds,
+            local_to_global=self.partition.local_to_global,
+            step=self._step,
+            labels=self.labels,
+        )
+        self._step += 1
+        return minibatch
+
     def epoch(self) -> Iterator[MiniBatch]:
         """Yield sampled minibatches for one epoch."""
         for seeds in self.seed_iterator.epoch():
-            minibatch = self.sampler.sample(
-                seeds,
-                local_to_global=self.partition.local_to_global,
-                step=self._step,
-                labels=self.labels,
-            )
-            self._step += 1
-            yield minibatch
+            yield self.sample(seeds)
 
     def reset(self) -> None:
         """Reset the global step counter (used between independent runs)."""

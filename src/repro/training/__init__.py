@@ -4,8 +4,18 @@ from repro.training.baseline import train_baseline
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
 from repro.training.evaluate import evaluate_accuracy, evaluate_loss, majority_class_accuracy
-from repro.training.massive import compare_baseline_and_prefetch, train_massive
+from repro.training.massive import (
+    compare_baseline_and_prefetch,
+    train_massive,
+    train_with_pipeline,
+)
 from repro.training.memory import MemoryProfile, compare_memory, profile_memory
+from repro.training.pipelines import (
+    PIPELINES,
+    OverlappedTimingPolicy,
+    SerialTimingPolicy,
+    build_pipeline,
+)
 from repro.training.sweep import (
     SweepPoint,
     SweepResult,
@@ -24,8 +34,13 @@ from repro.training.telemetry import (
 
 __all__ = [
     "train_baseline",
+    "train_with_pipeline",
     "TrainConfig",
     "TrainingEngine",
+    "PIPELINES",
+    "OverlappedTimingPolicy",
+    "SerialTimingPolicy",
+    "build_pipeline",
     "evaluate_accuracy",
     "evaluate_loss",
     "majority_class_accuracy",

@@ -1,4 +1,8 @@
-"""Baseline (DistDGL-style) distributed training entry point."""
+"""Baseline (DistDGL-style) distributed training entry point.
+
+A thin shim over the pipeline API: ``train_baseline(...)`` is exactly
+``TrainingEngine(cluster, train_config).run_pipeline("baseline")``.
+"""
 
 from __future__ import annotations
 
@@ -30,4 +34,4 @@ def train_baseline(
     if cluster is None:
         cluster = SimCluster(dataset, cluster_config, cost_model=cost_model)
     engine = TrainingEngine(cluster, train_config)
-    return engine.run_baseline()
+    return engine.run_pipeline("baseline")

@@ -1,21 +1,22 @@
 """The distributed training engine.
 
-This module runs both pipelines the paper compares:
+The engine runs *pipelines*: every trainer gets a
+:class:`~repro.sampling.pipeline.MiniBatchPipeline` (seed → sample →
+fetch-feature → batch) and the engine's single loop consumes whatever the
+pipelines yield.  The two data paths the paper compares are just two named
+pipeline configurations (see :mod:`repro.training.pipelines`):
 
-* **baseline** — the DistDGL data path: every minibatch samples neighbors,
-  pulls locally owned features from the co-located KVStore, pulls every halo
-  node's features over RPC, and only then trains (Eq. 2);
-* **prefetch** — the MassiveGNN data path (Algorithm 1): a per-trainer
-  :class:`~repro.core.prefetcher.Prefetcher` serves halo nodes from its buffer,
-  fetches only the misses over RPC, maintains the scoreboards, and the whole
-  preparation of the next minibatch overlaps with DDP training on the current
-  one (Eqs. 3–5).
+* **baseline** — the DistDGL path: halo features pulled over RPC every
+  minibatch, accounted serially (Eq. 2);
+* **prefetch** — the MassiveGNN path (Algorithm 1): halo features served by a
+  per-trainer scored prefetch buffer, with preparation of the next minibatch
+  overlapping DDP training on the current one (Eqs. 3–5).
 
-Numerically, training is identical in both modes — the same minibatches, the
-same feature values, the same gradient averaging — so model accuracy is
-unaffected by prefetching (the paper's claim in Section V).  What differs is
-the *simulated time* accounted on each trainer's clock, which is what the
-benchmark harnesses report.
+Numerically, training is identical across pipelines — the same minibatches,
+the same feature values, the same gradient averaging — so model accuracy is
+unaffected by the data path (the paper's claim in Section V).  What differs
+is the *simulated time* each pipeline's timing policy puts on the trainer
+clocks, which is what the benchmark harnesses report.
 
 The engine keeps a single model replica shared by all simulated trainers.
 Under synchronous DDP every replica receives the same averaged gradient and
@@ -27,22 +28,21 @@ the integration tests via :func:`repro.distributed.ddp.check_replicas_consistent
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.config import PrefetchConfig
 from repro.core.eviction import EvictionPolicy
-from repro.core.prefetcher import Prefetcher
 from repro.distributed.clock import synchronize
 from repro.distributed.cluster import SimCluster, TrainerContext
-from repro.distributed.ddp import allreduce_gradients, gradient_num_elements
+from repro.distributed.ddp import allreduce_gradients
 from repro.distributed.rpc import aggregate_rpc_stats
 from repro.nn import build_model, build_optimizer, cross_entropy
-from repro.sampling.block import MiniBatch
-from repro.sampling.neighbor_sampler import split_local_halo
+from repro.sampling.pipeline import MiniBatchPipeline, PipelineBatch
 from repro.training.config import TrainConfig
 from repro.training.evaluate import evaluate_accuracy
+from repro.training.pipelines import PIPELINES
 from repro.training.telemetry import (
     ComponentAccumulator,
     EpochRecord,
@@ -52,9 +52,11 @@ from repro.training.telemetry import (
 )
 from repro.utils.rng import derive_seed
 
+PipelineBuilder = Callable[..., MiniBatchPipeline]
+
 
 class TrainingEngine:
-    """Runs baseline or prefetch-enabled training on a :class:`SimCluster`."""
+    """Runs any registered minibatch pipeline on a :class:`SimCluster`."""
 
     def __init__(self, cluster: SimCluster, train_config: TrainConfig):
         self.cluster = cluster
@@ -67,7 +69,7 @@ class TrainingEngine:
     # ------------------------------------------------------------------ #
     def run_baseline(self) -> TrainingReport:
         """Train with the DistDGL-style data path (no prefetching)."""
-        return self._run(mode="baseline", prefetch_config=None)
+        return self.run_pipeline("baseline")
 
     def run_prefetch(
         self,
@@ -75,8 +77,36 @@ class TrainingEngine:
         eviction_policy: Optional[EvictionPolicy] = None,
     ) -> TrainingReport:
         """Train with the MassiveGNN prefetch-and-eviction data path."""
+        if prefetch_config is None:
+            raise ValueError("prefetch mode requires a PrefetchConfig")
+        return self.run_pipeline(
+            "prefetch", prefetch_config=prefetch_config, eviction_policy=eviction_policy
+        )
+
+    def run_pipeline(
+        self,
+        pipeline: Union[str, PipelineBuilder] = "baseline",
+        prefetch_config: Optional[PrefetchConfig] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ) -> TrainingReport:
+        """Train with a named (or custom-built) minibatch pipeline.
+
+        ``pipeline`` is either a name registered in
+        :data:`repro.training.pipelines.PIPELINES` or a builder callable with
+        the same ``(trainer, cluster, prefetch_config=..., eviction_policy=...)``
+        signature returning one :class:`MiniBatchPipeline` per trainer.
+        """
+        if isinstance(pipeline, str):
+            name: Optional[str] = PIPELINES.resolve(pipeline)
+            builder: PipelineBuilder = PIPELINES.get(pipeline)
+        else:
+            name = None
+            builder = pipeline
         return self._run(
-            mode="prefetch", prefetch_config=prefetch_config, eviction_policy=eviction_policy
+            builder=builder,
+            pipeline_name=name,
+            prefetch_config=prefetch_config,
+            eviction_policy=eviction_policy,
         )
 
     # ------------------------------------------------------------------ #
@@ -84,7 +114,8 @@ class TrainingEngine:
     # ------------------------------------------------------------------ #
     def _run(
         self,
-        mode: str,
+        builder: PipelineBuilder,
+        pipeline_name: Optional[str],
         prefetch_config: Optional[PrefetchConfig],
         eviction_policy: Optional[EvictionPolicy] = None,
     ) -> TrainingReport:
@@ -108,23 +139,24 @@ class TrainingEngine:
         trainers = cluster.trainers
         world = len(trainers)
 
-        prefetchers: List[Optional[Prefetcher]] = [None] * world
+        # Build one pipeline per trainer; sources that prefetch at init (the
+        # one-time RPC of Algorithm 1) charge that cost to the trainer clock
+        # before the first minibatch.
+        pipelines: List[MiniBatchPipeline] = [
+            builder(
+                trainer,
+                cluster,
+                prefetch_config=prefetch_config,
+                eviction_policy=eviction_policy,
+            )
+            for trainer in trainers
+        ]
+        mode = pipeline_name or (pipelines[0].name if pipelines else "pipeline")
         init_reports: List[Dict[str, float]] = []
-        if mode == "prefetch":
-            if prefetch_config is None:
-                raise ValueError("prefetch mode requires a PrefetchConfig")
-            for i, trainer in enumerate(trainers):
-                prefetcher = Prefetcher(
-                    partition=trainer.partition,
-                    config=prefetch_config,
-                    rpc=trainer.rpc,
-                    num_global_nodes=self.dataset.num_nodes,
-                    eviction_policy=eviction_policy,
-                )
-                report = prefetcher.initialize()
-                trainer.clock.advance(report.rpc_time_s, "init")
-                prefetchers[i] = prefetcher
-                init_reports.append(report.as_dict())
+        for trainer, pl in zip(trainers, pipelines):
+            if pl.init_report is not None:
+                trainer.clock.advance(pl.init_time_s, "init")
+                init_reports.append(dict(pl.init_report))
 
         accumulators = [ComponentAccumulator() for _ in range(world)]
         trainer_steps = [0] * world      # lifetime step counter per trainer (drives Δ and Eq. 4)
@@ -133,7 +165,7 @@ class TrainingEngine:
         previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
 
         for epoch in range(config.epochs):
-            iterators = [iter(t.dataloader.epoch()) for t in trainers]
+            iterators = [iter(pl.epoch()) for pl in pipelines]
             active = [True] * world
             losses: List[float] = []
             correct = 0
@@ -152,16 +184,15 @@ class TrainingEngine:
                     if not active[i]:
                         continue
                     try:
-                        minibatch = next(iterators[i])
+                        batch = next(iterators[i])
                     except StopIteration:
                         active[i] = False
                         continue
                     timing, loss, n_correct, n_seen, grads = self._train_step(
                         trainer=trainer,
-                        minibatch=minibatch,
+                        batch=batch,
                         model=model,
-                        mode=mode,
-                        prefetcher=prefetchers[i],
+                        timing_policy=pipelines[i].timing,
                         trainer_step=trainer_steps[i],
                     )
                     trainer_steps[i] += 1
@@ -186,21 +217,14 @@ class TrainingEngine:
                 steps_this_epoch += 1
 
             epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+            hit_rates = [pl.hit_rate for pl in pipelines if pl.hit_rate is not None]
             epoch_records.append(
                 EpochRecord(
                     epoch=epoch,
                     simulated_time_s=epoch_end - previous_epoch_end,
                     loss=float(np.mean(losses)) if losses else 0.0,
                     train_accuracy=correct / seen if seen else 0.0,
-                    hit_rate=(
-                        float(
-                            np.mean(
-                                [p.hit_rate for p in prefetchers if p is not None]
-                            )
-                        )
-                        if mode == "prefetch"
-                        else None
-                    ),
+                    hit_rate=float(np.mean(hit_rates)) if hit_rates else None,
                 )
             )
             previous_epoch_end = epoch_end
@@ -214,11 +238,17 @@ class TrainingEngine:
         for key in ComponentAccumulator.FIELDS:
             totals = [acc.totals[key] for acc in accumulators]
             mean_breakdown[key] = float(np.mean(totals)) if totals else 0.0
+        overlapped = any(
+            pl.timing is not None and getattr(pl.timing, "overlaps_preparation", False)
+            for pl in pipelines
+        )
         overlap = (
             float(np.mean([acc.overlap_efficiency() for acc in accumulators]))
-            if mode == "prefetch" and accumulators
+            if overlapped and accumulators
             else 1.0
         )
+        trackers = [pl.hit_tracker for pl in pipelines if pl.hit_tracker is not None]
+        prefetchers = [pl.prefetcher for pl in pipelines if pl.prefetcher is not None]
 
         report = TrainingReport(
             mode=mode,
@@ -234,29 +264,28 @@ class TrainingEngine:
             component_breakdown=mean_breakdown,
             per_trainer_breakdown=breakdown_means,
             rpc_stats=aggregate_rpc_stats([t.rpc for t in trainers]),
-            hit_tracker=(
-                merge_trainer_hit_trackers([p.tracker for p in prefetchers if p is not None])
-                if mode == "prefetch"
-                else None
-            ),
-            per_trainer_hit_trackers=(
-                [p.tracker for p in prefetchers if p is not None] if mode == "prefetch" else []
-            ),
+            hit_tracker=merge_trainer_hit_trackers(trackers) if trackers else None,
+            per_trainer_hit_trackers=trackers,
             prefetch_init=init_reports,
             overlap_efficiency=overlap,
             final_train_accuracy=epoch_records[-1].train_accuracy if epoch_records else 0.0,
             num_minibatches=total_minibatches,
-            config_description=prefetch_config.describe() if prefetch_config else "baseline",
+            config_description=prefetch_config.describe() if prefetch_config else mode,
         )
-        if mode == "prefetch":
+        if prefetchers:
             report.extras["mean_buffer_nbytes"] = float(
-                np.mean([p.buffer_nbytes() for p in prefetchers if p is not None])
+                np.mean([p.buffer_nbytes() for p in prefetchers])
             )
             report.extras["mean_scoreboard_nbytes"] = float(
-                np.mean([p.scoreboard_nbytes() for p in prefetchers if p is not None])
+                np.mean([p.scoreboard_nbytes() for p in prefetchers])
             )
             report.extras["remote_nodes_fetched_prefetch"] = float(
-                np.sum([p.counters.remote_nodes_fetched for p in prefetchers if p is not None])
+                np.sum([p.counters.remote_nodes_fetched for p in prefetchers])
+            )
+        stores = [pl.feature_store for pl in pipelines if pl.feature_store is not None]
+        if stores:
+            report.extras["mean_feature_store_nbytes"] = float(
+                np.mean([store.nbytes() for store in stores])
             )
 
         if config.evaluate:
@@ -286,43 +315,30 @@ class TrainingEngine:
     def _train_step(
         self,
         trainer: TrainerContext,
-        minibatch: MiniBatch,
+        batch: PipelineBatch,
         model,
-        mode: str,
-        prefetcher: Optional[Prefetcher],
+        timing_policy,
         trainer_step: int,
     ) -> Tuple[StepTiming, float, int, int, Dict[str, np.ndarray]]:
         cost = self.cost_model
-        partition = trainer.partition
-        local_ids, halo_ids, local_rows, halo_rows = split_local_halo(partition, minibatch)
+        minibatch = batch.minibatch
+        fetch = batch.fetch.merged
 
-        t_sampling = cost.time_sampling(minibatch.total_edges())
-        features = np.zeros(
-            (minibatch.num_input_nodes, self.dataset.feature_dim), dtype=np.float32
+        timing = StepTiming(
+            sampling=cost.time_sampling(minibatch.total_edges()),
+            copy=fetch.copy_time_s,
+            rpc=fetch.rpc_time_s,
+            lookup=cost.time_lookup(fetch.lookup_nodes),
+            scoring=cost.time_scoring(fetch.scoring_nodes),
+            eviction=(
+                cost.time_eviction(fetch.buffer_capacity, fetch.nodes_replaced)
+                if fetch.eviction_round
+                else 0.0
+            ),
         )
-        local_feats, t_copy = trainer.rpc.local_pull(local_ids)
-        features[local_rows] = local_feats
-
-        timing = StepTiming(sampling=t_sampling, copy=t_copy)
-
-        if mode == "baseline":
-            owners = self.cluster.book.owner(halo_ids) if len(halo_ids) else np.zeros(0, dtype=np.int64)
-            halo_feats, t_rpc, _ = trainer.rpc.remote_pull(halo_ids, owners)
-            features[halo_rows] = halo_feats
-            timing.rpc = t_rpc
-        else:
-            result = prefetcher.process_minibatch(halo_ids, step=trainer_step)
-            features[halo_rows] = result.features
-            timing.rpc = result.rpc_time_s
-            timing.lookup = cost.time_lookup(result.lookup_nodes)
-            timing.scoring = cost.time_scoring(result.scoring_nodes)
-            if result.eviction_round:
-                timing.eviction = cost.time_eviction(
-                    result.buffer_capacity, result.nodes_replaced
-                )
 
         # ---------------- model compute ----------------
-        logits = model.forward(minibatch.blocks, features)
+        logits = model.forward(minibatch.blocks, batch.features)
         loss, grad_logits = cross_entropy(logits, minibatch.labels)
         model.backward(grad_logits)
         grads = {name: grad.copy() for name, grad in model.gradients().items()}
@@ -333,37 +349,10 @@ class TrainingEngine:
         timing.ddp = cost.time_compute(model.flops(minibatch))
 
         # ---------------- simulated time accounting ----------------
-        if mode == "baseline":
-            # Eq. 2: sampling + max(rpc, copy) + ddp; rpc beyond the local copy
-            # is the communication stall (Eq. 9).
-            critical = timing.sampling + max(timing.rpc, timing.copy) + timing.ddp
-            trainer.clock.advance(timing.sampling, "sampling")
-            trainer.clock.advance(timing.copy, "copy")
-            trainer.clock.advance(max(0.0, timing.rpc - timing.copy), "rpc")
-            trainer.clock.advance(timing.ddp, "ddp")
-            timing.prepare = 0.0
-            timing.hidden = 0.0
-        else:
-            # Eq. 3: preparation of the next minibatch; scoreboard maintenance
-            # overlaps with the RPC fetch of missed nodes.
-            prepare = (
-                timing.sampling
-                + timing.lookup
-                + max(timing.scoring + timing.eviction, max(timing.rpc, timing.copy))
-            )
-            timing.prepare = prepare
-            if trainer_step == 0:
-                # Eq. 4: the very first minibatch cannot reuse a prefetched batch.
-                critical = prepare + max(prepare, timing.ddp)
-                timing.hidden = min(prepare, timing.ddp)
-            else:
-                # Eq. 5: steady state — preparation overlaps DDP training.
-                critical = max(prepare, timing.ddp)
-                timing.hidden = min(prepare, timing.ddp)
-            trainer.clock.advance(timing.ddp, "ddp")
-            trainer.clock.advance(max(0.0, critical - timing.ddp), "stall")
-
-        timing.critical_path = critical
+        # The pipeline's timing policy decides what is on the critical path
+        # (Eq. 2 for the serial baseline; Eqs. 3–5 when preparation overlaps
+        # training) — the engine itself has no notion of "modes".
+        timing_policy.account(timing, trainer_step, trainer.clock)
         return timing, loss, n_correct, n_seen, grads
 
     # ------------------------------------------------------------------ #

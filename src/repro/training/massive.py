@@ -1,4 +1,10 @@
-"""MassiveGNN (prefetch + eviction) distributed training entry points."""
+"""MassiveGNN (prefetch + eviction) distributed training entry points.
+
+Thin shims over the pipeline API: ``train_massive`` runs the registered
+``"prefetch"`` pipeline, ``train_with_pipeline`` runs any registered pipeline
+by name, and ``compare_baseline_and_prefetch`` runs ``"baseline"`` and
+``"prefetch"`` on one shared cluster.
+"""
 
 from __future__ import annotations
 
@@ -14,6 +20,29 @@ from repro.training.engine import TrainingEngine
 from repro.training.telemetry import TrainingReport
 
 
+def train_with_pipeline(
+    dataset: GraphDataset,
+    pipeline: str = "baseline",
+    prefetch_config: Optional[PrefetchConfig] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    train_config: Optional[TrainConfig] = None,
+    cost_model: Optional[CostModel] = None,
+    cluster: Optional[SimCluster] = None,
+    eviction_policy: Optional[EvictionPolicy] = None,
+) -> TrainingReport:
+    """Train a GNN with any pipeline registered in
+    :data:`repro.training.pipelines.PIPELINES` (``"baseline"``, ``"prefetch"``,
+    ``"static-cache"``, ...)."""
+    cluster_config = cluster_config or ClusterConfig()
+    train_config = train_config or TrainConfig()
+    if cluster is None:
+        cluster = SimCluster(dataset, cluster_config, cost_model=cost_model)
+    engine = TrainingEngine(cluster, train_config)
+    return engine.run_pipeline(
+        pipeline, prefetch_config=prefetch_config, eviction_policy=eviction_policy
+    )
+
+
 def train_massive(
     dataset: GraphDataset,
     prefetch_config: Optional[PrefetchConfig] = None,
@@ -24,13 +53,16 @@ def train_massive(
     eviction_policy: Optional[EvictionPolicy] = None,
 ) -> TrainingReport:
     """Train a GNN with MassiveGNN's continuous prefetch-and-eviction scheme."""
-    prefetch_config = prefetch_config or PrefetchConfig()
-    cluster_config = cluster_config or ClusterConfig()
-    train_config = train_config or TrainConfig()
-    if cluster is None:
-        cluster = SimCluster(dataset, cluster_config, cost_model=cost_model)
-    engine = TrainingEngine(cluster, train_config)
-    return engine.run_prefetch(prefetch_config, eviction_policy=eviction_policy)
+    return train_with_pipeline(
+        dataset,
+        pipeline="prefetch",
+        prefetch_config=prefetch_config or PrefetchConfig(),
+        cluster_config=cluster_config,
+        train_config=train_config,
+        cost_model=cost_model,
+        cluster=cluster,
+        eviction_policy=eviction_policy,
+    )
 
 
 def compare_baseline_and_prefetch(
@@ -50,6 +82,6 @@ def compare_baseline_and_prefetch(
     prefetch_config = prefetch_config or PrefetchConfig()
     cluster = SimCluster(dataset, cluster_config, cost_model=cost_model)
     engine = TrainingEngine(cluster, train_config)
-    baseline_report = engine.run_baseline()
-    prefetch_report = engine.run_prefetch(prefetch_config)
+    baseline_report = engine.run_pipeline("baseline")
+    prefetch_report = engine.run_pipeline("prefetch", prefetch_config=prefetch_config)
     return baseline_report, prefetch_report

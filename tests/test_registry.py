@@ -1,0 +1,173 @@
+"""Tests for the string-keyed registries (eviction policies, sources, pipelines)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrefetchConfig
+from repro.core.eviction import (
+    EVICTION_POLICIES,
+    LRUPolicy,
+    NoEvictionPolicy,
+    RandomEvictionPolicy,
+    ScoreThresholdPolicy,
+    build_eviction_policy,
+)
+from repro.features import FEATURE_SOURCES, SourceContext, build_feature_source
+from repro.sampling.pipeline import MiniBatchPipeline
+from repro.training.pipelines import PIPELINES, TIMING_POLICIES, build_pipeline
+from repro.utils.registry import Registry
+
+
+class TestRegistryMechanics:
+    def test_register_and_build(self):
+        reg = Registry("widget")
+        reg.register("a", lambda: "built-a", aliases=("alpha",))
+        assert reg.build("a") == "built-a"
+        assert reg.build("alpha") == "built-a"
+        assert reg.build("A") == "built-a"  # case-insensitive
+        assert "a" in reg and "alpha" in reg and "b" not in reg
+        assert reg.names() == ["a"]
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("decorated")
+        def factory(x):
+            return x * 2
+
+        assert reg.build("decorated", 21) == 42
+
+    def test_unknown_name_lists_valid_names(self):
+        reg = Registry("widget")
+        reg.register("a", lambda: None)
+        reg.register("b", lambda: None)
+        with pytest.raises(ValueError) as excinfo:
+            reg.build("zzz")
+        message = str(excinfo.value)
+        assert "unknown widget 'zzz'" in message
+        assert "a" in message and "b" in message
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("a", lambda: None, aliases=("alpha",))
+        with pytest.raises(ValueError):
+            reg.register("a", lambda: None)
+        with pytest.raises(ValueError):
+            reg.register("c", lambda: None, aliases=("a",))
+        # A new canonical name may not shadow an existing alias either —
+        # resolve() follows aliases first, so it would be unreachable.
+        with pytest.raises(ValueError):
+            reg.register("alpha", lambda: None)
+
+    def test_non_string_names_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(ValueError):
+            reg.resolve("")
+        assert 3 not in reg
+
+
+class TestEvictionPolicyRegistry:
+    EXPECTED = {
+        "score-threshold": ScoreThresholdPolicy,
+        "lru": LRUPolicy,
+        "random": RandomEvictionPolicy,
+        "none": NoEvictionPolicy,
+    }
+
+    def test_round_trip_every_registered_policy(self):
+        assert set(EVICTION_POLICIES.names()) == set(self.EXPECTED)
+        for name in EVICTION_POLICIES.names():
+            policy = build_eviction_policy(name, seed=0)
+            assert isinstance(policy, self.EXPECTED[name])
+            assert policy.name == name
+
+    def test_aliases(self):
+        assert isinstance(build_eviction_policy("score"), ScoreThresholdPolicy)
+        assert isinstance(build_eviction_policy("paper"), ScoreThresholdPolicy)
+        assert isinstance(build_eviction_policy("no-eviction"), NoEvictionPolicy)
+
+    def test_unknown_policy_error_lists_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            build_eviction_policy("fifo")
+        message = str(excinfo.value)
+        for name in self.EXPECTED:
+            assert name in message
+
+    def test_config_validates_policy_name(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(eviction_policy="not-a-policy")
+        config = PrefetchConfig(eviction_policy="lru")
+        assert config.eviction_policy == "lru"
+
+    def test_config_validates_halo_source_name(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(halo_source="bufferd")  # typo fails at construction
+        config = PrefetchConfig(halo_source="static-cache")
+        assert config.halo_source == "static-cache"
+
+
+class TestFeatureSourceRegistry:
+    @pytest.fixture()
+    def ctx(self, small_cluster):
+        trainer = small_cluster.trainers[0]
+        return SourceContext(
+            rpc=trainer.rpc,
+            partition=trainer.partition,
+            num_global_nodes=small_cluster.dataset.num_nodes,
+            book=small_cluster.book,
+            prefetch_config=PrefetchConfig(halo_fraction=0.25, delta=8),
+            seed=0,
+        )
+
+    def test_round_trip_every_registered_source(self, ctx):
+        assert set(FEATURE_SOURCES.names()) == {
+            "local-kvstore", "remote-rpc", "buffered", "static-cache",
+        }
+        for name in FEATURE_SOURCES.names():
+            source = build_feature_source(name, ctx)
+            assert source.name == name
+            assert callable(source.fetch)
+
+    def test_unknown_source_error_lists_names(self, ctx):
+        with pytest.raises(ValueError) as excinfo:
+            build_feature_source("redis", ctx)
+        message = str(excinfo.value)
+        assert "unknown feature source 'redis'" in message
+        assert "buffered" in message and "remote-rpc" in message
+
+    def test_prefetch_config_required_for_buffered(self, small_cluster):
+        trainer = small_cluster.trainers[0]
+        ctx = SourceContext(rpc=trainer.rpc, partition=trainer.partition)
+        with pytest.raises(ValueError, match="requires a PrefetchConfig"):
+            build_feature_source("buffered", ctx)
+
+
+class TestPipelineRegistry:
+    def test_round_trip_every_registered_pipeline(self, small_cluster):
+        assert set(PIPELINES.names()) == {"baseline", "prefetch", "static-cache"}
+        trainer = small_cluster.trainers[0]
+        config = PrefetchConfig(halo_fraction=0.25, delta=8)
+        for name in PIPELINES.names():
+            pipeline = build_pipeline(name, trainer, small_cluster, prefetch_config=config)
+            assert isinstance(pipeline, MiniBatchPipeline)
+            assert pipeline.name == name
+            assert pipeline.describe() == "seed >> sample >> fetch-feature >> batch"
+
+    def test_unknown_pipeline_error_lists_names(self, small_cluster):
+        trainer = small_cluster.trainers[0]
+        with pytest.raises(ValueError) as excinfo:
+            build_pipeline("warp-drive", trainer, small_cluster)
+        message = str(excinfo.value)
+        assert "baseline" in message and "prefetch" in message
+
+    def test_prefetch_pipeline_requires_config(self, small_cluster):
+        trainer = small_cluster.trainers[0]
+        with pytest.raises(ValueError, match="PrefetchConfig"):
+            build_pipeline("prefetch", trainer, small_cluster)
+
+    def test_timing_policy_registry(self):
+        assert set(TIMING_POLICIES.names()) == {"serial", "overlapped"}
+        serial = TIMING_POLICIES.build("serial")
+        overlapped = TIMING_POLICIES.build("overlapped")
+        assert serial.overlaps_preparation is False
+        assert overlapped.overlaps_preparation is True
