@@ -12,7 +12,9 @@ Massively Connected Distributed Graphs* (CLUSTER 2024) in pure Python/NumPy:
   cost model, simulated cluster, DDP allreduce);
 * :mod:`repro.nn` — NumPy GraphSAGE and GAT with manual backprop;
 * :mod:`repro.training` — baseline and prefetch-enabled training pipelines,
-  sweeps, memory profiling;
+  the cluster execution engine, sweeps, memory profiling;
+* :mod:`repro.scenarios` — named cluster workloads (uniform, skewed
+  partitions, straggler machines, hot halo) for benchmarks and the CLI;
 * :mod:`repro.perf` — the analytical performance model (Eqs. 2–7) and the
   (γ, Δ) trade-off analysis.
 
@@ -55,8 +57,17 @@ from repro.sampling import (
     SampleStage,
     SeedStage,
 )
+from repro.scenarios import (
+    SCENARIOS,
+    ClusterScenario,
+    ClusterWorkload,
+    available_scenarios,
+    build_scenario,
+)
 from repro.training import (
     PIPELINES,
+    ClusterEngine,
+    ClusterReport,
     TrainConfig,
     TrainingReport,
     build_pipeline,
@@ -95,6 +106,13 @@ __all__ = [
     "SampleStage",
     "SeedStage",
     "PIPELINES",
+    "SCENARIOS",
+    "ClusterScenario",
+    "ClusterWorkload",
+    "available_scenarios",
+    "build_scenario",
+    "ClusterEngine",
+    "ClusterReport",
     "TrainConfig",
     "TrainingReport",
     "build_pipeline",

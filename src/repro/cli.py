@@ -11,7 +11,13 @@ Commands
     Train baseline and/or prefetch pipelines on one dataset and print a
     Fig. 6-style comparison; optionally save JSON traces.  ``--pipeline``
     runs any single pipeline registered in
-    :data:`repro.training.pipelines.PIPELINES` instead.
+    :data:`repro.training.pipelines.PIPELINES` instead.  ``--cluster``
+    switches to the scenario-driven :class:`ClusterEngine` path:
+    ``repro run --cluster --scenario skewed-partitions`` runs a named
+    workload from :data:`repro.scenarios.SCENARIOS` and prints per-trainer
+    and cluster-level telemetry (critical path, barrier wait, hit rates).
+``scenarios``
+    List the registered cluster scenarios and their deployment notes.
 ``sweep``
     Grid-search (f_h, γ, Δ) and print the Table IV-style optimum.
 """
@@ -29,6 +35,7 @@ from repro.core.eviction import EVICTION_POLICIES, build_eviction_policy
 from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
 from repro.graph.datasets import available_datasets, load_dataset
+from repro.scenarios import SCENARIOS, available_scenarios
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
 from repro.training.pipelines import PIPELINES
@@ -50,11 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list dataset analogs and their statistics")
     sub.add_parser("experiments", help="list the paper's tables/figures and their bench targets")
+    sub.add_parser("scenarios", help="list the registered cluster scenarios")
 
+    # Flags shared with --cluster default to None so that only explicitly
+    # passed values override a scenario's recipe; the plain run path fills in
+    # the documented defaults itself.
     run = sub.add_parser("run", help="train baseline and/or prefetch pipelines")
-    run.add_argument("--dataset", default="products", choices=available_datasets())
-    run.add_argument("--scale", type=float, default=0.25, help="dataset scale multiplier")
-    run.add_argument("--mode", default="both", choices=["baseline", "prefetch", "both"])
+    run.add_argument(
+        "--dataset", default=None, choices=available_datasets(),
+        help="dataset analog (default: products; with --cluster: the scenario's dataset)",
+    )
+    run.add_argument("--scale", type=float, default=None,
+                     help="dataset scale multiplier (default: 0.25; --cluster: scenario's)")
+    run.add_argument("--mode", default="both", choices=["baseline", "prefetch", "both"],
+                     help="which pipelines to compare (ignored with --cluster)")
     run.add_argument(
         "--pipeline", default=None, choices=PIPELINES.names(),
         help="run one registered pipeline instead of the --mode comparison",
@@ -63,17 +79,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--eviction-policy", default=None, choices=EVICTION_POLICIES.names(),
         help="eviction policy for the prefetch buffer (default: the config's, score-threshold)",
     )
-    run.add_argument("--backend", default="cpu", choices=["cpu", "gpu"])
-    run.add_argument("--machines", type=int, default=2)
-    run.add_argument("--trainers-per-machine", type=int, default=2)
-    run.add_argument("--batch-size", type=int, default=128)
-    run.add_argument("--fanouts", type=int, nargs="+", default=[10, 25])
-    run.add_argument("--epochs", type=int, default=3)
+    run.add_argument(
+        "--cluster", action="store_true",
+        help="run a scenario-driven cluster workload through the ClusterEngine "
+             "(prints per-trainer and critical-path telemetry; --mode is ignored, "
+             "use --pipeline to override the scenario's pipeline)",
+    )
+    run.add_argument(
+        "--scenario", default=None, choices=available_scenarios(),
+        help="named cluster workload for --cluster (default: uniform); the scenario's "
+             "recipe provides every default, and only explicitly passed flags override it",
+    )
+    run.add_argument("--backend", default=None, choices=["cpu", "gpu"],
+                     help="cost-model backend (default: cpu; --cluster: scenario's)")
+    run.add_argument("--machines", type=int, default=None,
+                     help="simulated machines (default: 2; --cluster: scenario's)")
+    run.add_argument("--trainers-per-machine", type=int, default=None,
+                     help="trainers per machine (default: 2; --cluster: scenario's)")
+    run.add_argument("--batch-size", type=int, default=None,
+                     help="seeds per minibatch (default: 128; --cluster: scenario's)")
+    run.add_argument("--fanouts", type=int, nargs="+", default=None,
+                     help="per-layer neighbor fanouts (default: 10 25; --cluster: scenario's)")
+    run.add_argument("--epochs", type=int, default=None,
+                     help="training epochs (default: 3; --cluster: scenario's)")
     run.add_argument("--arch", default="sage", choices=["sage", "gat"])
     run.add_argument("--hidden-dim", type=int, default=64)
-    run.add_argument("--halo-fraction", type=float, default=0.35)
-    run.add_argument("--gamma", type=float, default=0.995)
-    run.add_argument("--delta", type=int, default=16)
+    run.add_argument("--halo-fraction", type=float, default=None,
+                     help="prefetch buffer capacity as a halo fraction "
+                          "(default: 0.35; --cluster: scenario's)")
+    run.add_argument("--gamma", type=float, default=None,
+                     help="eviction-score decay (default: 0.995; --cluster: scenario's)")
+    run.add_argument("--delta", type=int, default=None,
+                     help="eviction interval (default: 16; --cluster: scenario's)")
     run.add_argument("--no-eviction", action="store_true")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--evaluate", action="store_true", help="score validation/test accuracy")
@@ -124,29 +161,149 @@ def _cmd_experiments() -> int:
     return 0
 
 
+def _cmd_scenarios() -> int:
+    rows = []
+    for name in available_scenarios():
+        scenario = SCENARIOS.build(name)
+        rows.append([
+            name,
+            scenario.dataset,
+            scenario.partition_method,
+            "heterogeneous" if scenario.compute_multipliers else "homogeneous",
+            scenario.pipeline,
+            scenario.description,
+        ])
+    print(format_table(
+        ["scenario", "dataset", "partitioning", "hardware", "pipeline", "description"], rows
+    ))
+    return 0
+
+
+def _cmd_run_cluster(args: argparse.Namespace) -> int:
+    """``repro run --cluster --scenario <name>``: scenario-driven cluster run.
+
+    The scenario recipe is the source of every default; only flags the user
+    actually passed (non-``None``) override it.
+    """
+    import dataclasses
+
+    scenario = SCENARIOS.build(args.scenario or "uniform").with_overrides(
+        dataset=args.dataset,
+        scale=args.scale,
+        num_machines=args.machines,
+        trainers_per_machine=args.trainers_per_machine,
+        batch_size=args.batch_size,
+        fanouts=tuple(args.fanouts) if args.fanouts else None,
+        backend=args.backend,
+        epochs=args.epochs,
+    )
+    prefetch_tuning = {
+        key: value
+        for key, value in (
+            ("halo_fraction", args.halo_fraction),
+            ("gamma", args.gamma),
+            ("delta", args.delta),
+            ("eviction_policy", args.eviction_policy),
+        )
+        if value is not None
+    }
+    if args.no_eviction:
+        prefetch_tuning["eviction_enabled"] = False
+    prefetch_config = None
+    if prefetch_tuning:
+        # The eviction policy rides along as a registry *name* so each
+        # trainer's prefetcher builds its own instance (own RNG stream) —
+        # a shared policy object would couple the trainers' evictions.
+        prefetch_config = dataclasses.replace(
+            scenario.prefetch_config or PrefetchConfig(), **prefetch_tuning
+        )
+    workload = scenario.materialize(
+        seed=args.seed,
+        train_config=TrainConfig(
+            epochs=scenario.epochs, arch=args.arch, hidden_dim=args.hidden_dim,
+            evaluate=args.evaluate, seed=args.seed,
+        ),
+    )
+    print(f"scenario '{scenario.name}': {scenario.description}")
+    print(f"dataset={scenario.dataset} scale={scenario.scale} "
+          f"machines={scenario.num_machines} trainers/machine={scenario.trainers_per_machine} "
+          f"partitioning={scenario.partition_method}\n")
+
+    report = workload.run(pipeline=args.pipeline, prefetch_config=prefetch_config)
+    summary = report.summary()
+
+    rows = [
+        [t.global_rank, t.machine, f"{t.compute_multiplier:.2f}", t.num_steps,
+         f"{t.simulated_time_s:.4f}", f"{t.barrier_wait_s:.4f}",
+         f"{t.hit_rate:.3f}" if t.hit_rate is not None else "-",
+         int(t.rpc_stats.get("bytes_fetched", 0))]
+        for t in report.trainer_stats
+    ]
+    print(format_table(
+        ["rank", "machine", "slowdown", "steps", "sim time s", "barrier wait s",
+         "hit rate", "rpc bytes"],
+        rows,
+    ))
+    hit = (f", mean hit rate {summary['mean_hit_rate']:.3f}"
+           if "mean_hit_rate" in summary else "")
+    print(
+        f"\n[{report.report.mode}] critical path {report.critical_path_time_s:.4f}s "
+        f"(trainer {report.critical_trainer_rank}), "
+        f"load imbalance {report.load_imbalance:.3f}, "
+        f"total barrier wait {report.total_barrier_wait_s:.4f}s, "
+        f"train acc {report.report.final_train_accuracy:.3f}{hit}"
+    )
+
+    if args.trace_dir is not None:
+        import json
+
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
+        path = args.trace_dir / f"cluster_{scenario.name}.json"
+        with open(path, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+        print(f"\ncluster trace written to {path}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.cluster:
+        return _cmd_run_cluster(args)
+    if args.scenario is not None:
+        print("error: --scenario requires --cluster "
+              "(plain runs select data paths with --mode/--pipeline)", file=sys.stderr)
+        return 2
+    # Shared flags default to None (so --cluster can tell "explicitly passed"
+    # from "defaulted"); the plain run path owns these documented defaults.
+    backend = args.backend or "cpu"
+    epochs = args.epochs if args.epochs is not None else 3
+    dataset_name = args.dataset or "products"
+    scale = args.scale if args.scale is not None else 0.25
+    dataset = load_dataset(dataset_name, scale=scale, seed=args.seed)
     cluster = SimCluster(
         dataset,
         ClusterConfig(
-            num_machines=args.machines,
-            trainers_per_machine=args.trainers_per_machine,
-            batch_size=args.batch_size,
-            fanouts=tuple(args.fanouts),
-            backend=args.backend,
+            num_machines=args.machines if args.machines is not None else 2,
+            trainers_per_machine=(
+                args.trainers_per_machine if args.trainers_per_machine is not None else 2
+            ),
+            batch_size=args.batch_size if args.batch_size is not None else 128,
+            fanouts=tuple(args.fanouts) if args.fanouts else (10, 25),
+            backend=backend,
             seed=args.seed,
         ),
-        cost_model=CostModel.preset(args.backend),
+        cost_model=CostModel.preset(backend),
     )
     engine = TrainingEngine(
         cluster,
         TrainConfig(
-            epochs=args.epochs, arch=args.arch, hidden_dim=args.hidden_dim,
+            epochs=epochs, arch=args.arch, hidden_dim=args.hidden_dim,
             evaluate=args.evaluate, seed=args.seed,
         ),
     )
     prefetch_config = PrefetchConfig(
-        halo_fraction=args.halo_fraction, gamma=args.gamma, delta=args.delta,
+        halo_fraction=args.halo_fraction if args.halo_fraction is not None else 0.35,
+        gamma=args.gamma if args.gamma is not None else 0.995,
+        delta=args.delta if args.delta is not None else 16,
         eviction_enabled=not args.no_eviction,
         eviction_policy=args.eviction_policy or "score-threshold",
     )
@@ -164,7 +321,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"[{report.mode}] simulated time {report.total_simulated_time_s:.4f}s, "
               f"train acc {report.final_train_accuracy:.3f}{hit}")
         if args.trace_dir is not None:
-            metadata = {"dataset": args.dataset, "scale": args.scale, "backend": args.backend}
+            metadata = {"dataset": dataset_name, "scale": scale, "backend": backend}
             save_trace(report, args.trace_dir / f"{report.mode}.json", metadata)
             print(f"\ntraces written to {args.trace_dir}")
         return 0
@@ -187,7 +344,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         }))
 
     if args.trace_dir is not None:
-        metadata = {"dataset": args.dataset, "scale": args.scale, "backend": args.backend}
+        metadata = {"dataset": dataset_name, "scale": scale, "backend": backend}
         if baseline is not None:
             save_trace(baseline, args.trace_dir / "baseline.json", metadata)
         if prefetch is not None:
@@ -231,6 +388,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_datasets()
     if args.command == "experiments":
         return _cmd_experiments()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "sweep":

@@ -40,7 +40,13 @@ from repro.utils.validation import check_positive
 
 @dataclass
 class ClusterConfig:
-    """Topology and loader configuration for a simulated cluster."""
+    """Topology and loader configuration for a simulated cluster.
+
+    ``compute_multipliers`` makes the cluster heterogeneous: entry *m* is the
+    relative compute slowdown of machine *m* (``1.0`` nominal, ``2.0`` means
+    that machine's trainers compute twice as slowly — a straggler).  ``None``
+    means a homogeneous cluster.
+    """
 
     num_machines: int = 2
     trainers_per_machine: int = 4
@@ -49,6 +55,7 @@ class ClusterConfig:
     partition_method: str = "metis"
     backend: str = "cpu"
     seed: int = 0
+    compute_multipliers: Optional[Sequence[float]] = None
 
     def __post_init__(self) -> None:
         check_positive(self.num_machines, "num_machines")
@@ -56,11 +63,27 @@ class ClusterConfig:
         check_positive(self.batch_size, "batch_size")
         if self.backend not in ("cpu", "gpu"):
             raise ValueError(f"backend must be 'cpu' or 'gpu', got {self.backend!r}")
+        if self.compute_multipliers is not None:
+            multipliers = tuple(float(m) for m in self.compute_multipliers)
+            if len(multipliers) != self.num_machines:
+                raise ValueError(
+                    f"compute_multipliers needs one entry per machine "
+                    f"({self.num_machines}), got {len(multipliers)}"
+                )
+            for m in multipliers:
+                check_positive(m, "compute_multipliers entry")
+            self.compute_multipliers = multipliers
 
     @property
     def world_size(self) -> int:
         """Total number of trainer processes."""
         return self.num_machines * self.trainers_per_machine
+
+    def compute_multiplier(self, machine: int) -> float:
+        """Relative compute slowdown of *machine* (1.0 when homogeneous)."""
+        if self.compute_multipliers is None:
+            return 1.0
+        return float(self.compute_multipliers[machine])
 
 
 @dataclass
@@ -178,6 +201,41 @@ class SimCluster:
 
     def partition_of_machine(self, machine: int) -> GraphPartition:
         return self.partitions[machine]
+
+    def cost_model_for_machine(self, machine: int) -> CostModel:
+        """Per-machine cost model honoring the config's compute multipliers.
+
+        A slowdown of *s* divides the machine's compute throughput by *s*;
+        with the default multiplier of 1.0 this is bit-identical to the shared
+        cluster cost model (the differential tests rely on that).
+        """
+        slowdown = self.config.compute_multiplier(machine)
+        return self.cost_model.scaled(compute_flops_per_s=1.0 / slowdown)
+
+    def validate_seed_coverage(self) -> None:
+        """Check every training seed is assigned to exactly one trainer.
+
+        The two-level partitioning (graph partitions across machines, then
+        :class:`SeedPartitioner` across a machine's trainers) must cover the
+        dataset's training nodes exactly once — the invariant behind the
+        paper's synchronous-DDP epoch semantics.  Raises ``ValueError`` on
+        any gap or overlap.
+        """
+        assigned = []
+        for trainer in self.trainers:
+            if len(trainer.seeds_local):
+                assigned.append(trainer.partition.owned_global[trainer.seeds_local])
+        assigned_global = (
+            np.concatenate(assigned) if assigned else np.zeros(0, dtype=np.int64)
+        )
+        if len(assigned_global) != len(np.unique(assigned_global)):
+            raise ValueError("seed partitioning assigned some training node twice")
+        expected = np.nonzero(self.dataset.train_mask)[0].astype(np.int64)
+        if not np.array_equal(np.sort(assigned_global), expected):
+            raise ValueError(
+                "seed partitioning does not cover the training set exactly "
+                f"({len(assigned_global)} assigned vs {len(expected)} training nodes)"
+            )
 
     def reset(self) -> None:
         """Reset clocks, RPC counters, loader steps, and KVStore counters."""

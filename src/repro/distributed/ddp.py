@@ -27,6 +27,10 @@ def allreduce_gradients(per_trainer_grads: Sequence[GradDict]) -> GradDict:
     All trainers must provide the same parameter names and shapes; trainers
     that processed an empty minibatch may pass an empty dict and are excluded
     from the average (mirroring DDP's join semantics for uneven inputs).
+    When *every* trainer joins with an empty dict the round is a no-op and an
+    empty dict is returned — callers must skip the optimizer step for that
+    round (see :func:`repro.training.engine.apply_averaged_gradients`) rather
+    than divide by zero contributors or hit a parameter/gradient key mismatch.
     """
     contributing = [g for g in per_trainer_grads if g]
     if not contributing:

@@ -12,7 +12,7 @@ with per-source accounting aggregated into a
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -131,3 +131,37 @@ class FeatureStore:
             for key, value in source.summary().items():
                 out[f"{role}.{key}"] = float(value)
         return out
+
+
+# Summary keys that describe a level (rate/capacity/resident bytes) rather
+# than a count; cluster aggregation averages these instead of summing.
+_LEVEL_KEYS = (
+    "hit_rate",
+    "buffer_capacity",
+    "nbytes",
+    "buffer_nbytes",
+    "scoreboard_nbytes",
+    "server_nbytes",
+)
+
+
+def merge_store_summaries(summaries: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Aggregate per-trainer :meth:`FeatureStore.summary` dicts cluster-wide.
+
+    Counter-like keys (calls, rows served, remote nodes fetched) are summed;
+    level-like keys (hit rates, capacities, resident bytes) are averaged, so
+    the result reads as "the cluster's totals plus the mean per-trainer state".
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for summary in summaries:
+        for key, value in summary.items():
+            totals[key] = totals.get(key, 0.0) + float(value)
+            counts[key] = counts.get(key, 0) + 1
+    merged: Dict[str, float] = {}
+    for key, value in totals.items():
+        if key.rsplit(".", 1)[-1] in _LEVEL_KEYS:
+            merged[key] = value / counts[key]
+        else:
+            merged[key] = value
+    return merged

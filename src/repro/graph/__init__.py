@@ -28,6 +28,7 @@ from repro.graph.partition import (
     metis_partition,
     partition_graph,
     random_partition,
+    skewed_partition,
 )
 from repro.graph.partition_book import PartitionBook
 
@@ -59,5 +60,6 @@ __all__ = [
     "metis_partition",
     "partition_graph",
     "random_partition",
+    "skewed_partition",
     "PartitionBook",
 ]

@@ -102,6 +102,42 @@ def hash_partition(graph: CSRGraph, num_parts: int, seed: SeedLike = None) -> Pa
     return result
 
 
+def skewed_partition(
+    graph: CSRGraph, num_parts: int, seed: SeedLike = None, skew: float = 0.6
+) -> PartitionResult:
+    """Deliberately imbalanced assignment with geometric partition sizes.
+
+    Partition *p* receives a node share proportional to ``skew**p`` (so with
+    the default ``skew=0.6`` and 4 parts the shares are roughly 46/28/17/10%).
+    Real deployments hit this when METIS balances by node weight but training
+    nodes cluster unevenly; the ``skewed-partitions`` scenario uses it to
+    expose straggler epochs — trainers on the big partition process more
+    minibatches, and everyone else waits at the allreduce barrier.
+    """
+    check_positive(num_parts, "num_parts")
+    if not (0.0 < skew <= 1.0):
+        raise ValueError(f"skew must be in (0, 1], got {skew}")
+    rng = ensure_rng(seed)
+    shares = np.power(skew, np.arange(num_parts, dtype=np.float64))
+    shares /= shares.sum()
+    counts = np.floor(shares * graph.num_nodes).astype(np.int64)
+    counts[0] += graph.num_nodes - counts.sum()  # remainder to the biggest part
+    if np.any(counts <= 0):
+        raise ValueError(
+            f"cannot split {graph.num_nodes} nodes into {num_parts} partitions "
+            f"with skew {skew} (some partition would be empty)"
+        )
+    order = rng.permutation(graph.num_nodes).astype(np.int64)
+    parts = np.empty(graph.num_nodes, dtype=np.int64)
+    start = 0
+    for p, count in enumerate(counts):
+        parts[order[start: start + count]] = p
+        start += count
+    result = PartitionResult(parts=parts, num_parts=num_parts, method="skewed")
+    result.stats = _partition_stats(graph, result)
+    return result
+
+
 # --------------------------------------------------------------------------- #
 # Multilevel (METIS-like) partitioner
 # --------------------------------------------------------------------------- #
@@ -197,13 +233,15 @@ def metis_partition(
 def partition_graph(
     graph: CSRGraph, num_parts: int, method: str = "metis", seed: SeedLike = None
 ) -> PartitionResult:
-    """Dispatch to a partitioner by name (``metis``, ``random``, ``hash``)."""
+    """Dispatch to a partitioner by name (``metis``, ``random``, ``hash``, ``skewed``)."""
     if method == "metis":
         return metis_partition(graph, num_parts, seed=seed)
     if method == "random":
         return random_partition(graph, num_parts, seed=seed)
     if method == "hash":
         return hash_partition(graph, num_parts, seed=seed)
+    if method == "skewed":
+        return skewed_partition(graph, num_parts, seed=seed)
     raise ValueError(f"unknown partition method {method!r}")
 
 

@@ -1,0 +1,38 @@
+"""Named cluster workloads: string-keyed scenarios for benchmarks and the CLI.
+
+A :class:`ClusterScenario` is a recipe for a full cluster training workload —
+dataset analog, topology, partitioning policy, per-machine heterogeneity, the
+pipeline to run, and its prefetch tuning.  Scenarios are registered by name in
+:data:`SCENARIOS`, so diverse deployments are exercised the same way pipelines
+and eviction policies are selected everywhere else in the package::
+
+    from repro.scenarios import build_scenario
+
+    workload = build_scenario("skewed-partitions", seed=0, scale=0.1)
+    report = workload.run()          # -> ClusterReport
+    print(report.summary())
+
+The shipped library (:mod:`repro.scenarios.library`) mirrors the deployment
+axes of the paper's evaluation: ``uniform`` is the nominal one-partition-per-
+machine Perlmutter layout, ``skewed-partitions`` breaks METIS's balance,
+``straggler-machine`` slows one machine's compute, and ``hot-halo`` drives
+power-law cross-partition traffic through a locality-free partitioning of a
+hub-heavy graph.
+"""
+
+from repro.scenarios.registry import (
+    SCENARIOS,
+    ClusterScenario,
+    ClusterWorkload,
+    available_scenarios,
+    build_scenario,
+)
+from repro.scenarios import library as _library  # noqa: F401  (registers the scenarios)
+
+__all__ = [
+    "SCENARIOS",
+    "ClusterScenario",
+    "ClusterWorkload",
+    "available_scenarios",
+    "build_scenario",
+]

@@ -1,0 +1,142 @@
+"""The :class:`ClusterScenario` recipe type and the scenario registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import PrefetchConfig
+from repro.distributed.cluster import ClusterConfig, SimCluster
+from repro.distributed.cost_model import CostModel
+from repro.graph.datasets import GraphDataset, load_dataset
+from repro.training.cluster_engine import ClusterEngine, ClusterReport
+from repro.training.config import TrainConfig
+from repro.utils.registry import Registry
+
+SCENARIOS = Registry("scenario")
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """A named, fully specified cluster workload (topology + data path).
+
+    ``compute_multipliers`` and ``partition_method`` are the two levers the
+    shipped scenarios pull; ``cost_model_scaling`` applies multiplicative
+    overrides to the backend's preset cost model (e.g. a slower network).
+    ``paper_note`` maps the scenario onto the paper's deployment table for the
+    README/CLI listings.
+    """
+
+    name: str
+    description: str
+    dataset: str = "products"
+    scale: float = 0.1
+    num_machines: int = 2
+    trainers_per_machine: int = 2
+    batch_size: int = 64
+    fanouts: Tuple[int, ...] = (5, 10)
+    partition_method: str = "metis"
+    backend: str = "cpu"
+    compute_multipliers: Optional[Tuple[float, ...]] = None
+    cost_model_scaling: Dict[str, float] = field(default_factory=dict)
+    pipeline: str = "prefetch"
+    prefetch_config: Optional[PrefetchConfig] = None
+    epochs: int = 3
+    paper_note: str = ""
+
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **overrides) -> "ClusterScenario":
+        """A copy with selected fields replaced (CLI/benchmark knobs)."""
+        filtered = {k: v for k, v in overrides.items() if v is not None}
+        if "num_machines" in filtered and "compute_multipliers" not in filtered:
+            # Keep per-machine vectors aligned when the topology is resized.
+            filtered["compute_multipliers"] = self._resize_multipliers(
+                int(filtered["num_machines"])
+            )
+        return replace(self, **filtered)
+
+    def _resize_multipliers(self, num_machines: int) -> Optional[Tuple[float, ...]]:
+        if self.compute_multipliers is None:
+            return None
+        current = tuple(self.compute_multipliers)
+        if len(current) >= num_machines:
+            return current[:num_machines]
+        return current + (1.0,) * (num_machines - len(current))
+
+    # ------------------------------------------------------------------ #
+    def cluster_config(self, seed: int = 0) -> ClusterConfig:
+        return ClusterConfig(
+            num_machines=self.num_machines,
+            trainers_per_machine=self.trainers_per_machine,
+            batch_size=self.batch_size,
+            fanouts=self.fanouts,
+            partition_method=self.partition_method,
+            backend=self.backend,
+            seed=seed,
+            compute_multipliers=self.compute_multipliers,
+        )
+
+    def cost_model(self) -> CostModel:
+        model = CostModel.preset(self.backend)
+        if self.cost_model_scaling:
+            model = model.scaled(**self.cost_model_scaling)
+        return model
+
+    def materialize(
+        self,
+        seed: int = 0,
+        train_config: Optional[TrainConfig] = None,
+        dataset: Optional[GraphDataset] = None,
+    ) -> "ClusterWorkload":
+        """Build the dataset, cluster, and engine for this scenario."""
+        if dataset is None:
+            dataset = load_dataset(self.dataset, scale=self.scale, seed=seed)
+        cluster = SimCluster(dataset, self.cluster_config(seed), cost_model=self.cost_model())
+        if train_config is None:
+            train_config = TrainConfig(epochs=self.epochs, hidden_dim=32, seed=seed)
+        engine = ClusterEngine(cluster, train_config, scenario=self.name)
+        return ClusterWorkload(scenario=self, dataset=dataset, cluster=cluster, engine=engine)
+
+
+@dataclass
+class ClusterWorkload:
+    """A materialized scenario, ready to run."""
+
+    scenario: ClusterScenario
+    dataset: GraphDataset
+    cluster: SimCluster
+    engine: ClusterEngine
+
+    def run(
+        self,
+        pipeline: Optional[str] = None,
+        prefetch_config: Optional[PrefetchConfig] = None,
+        eviction_policy=None,
+    ) -> ClusterReport:
+        """Execute the scenario's pipeline; explicit arguments override the recipe."""
+        name = pipeline or self.scenario.pipeline
+        prefetch = prefetch_config or self.scenario.prefetch_config
+        if name != "baseline" and prefetch is None:
+            prefetch = PrefetchConfig()
+        return self.engine.run(
+            name, prefetch_config=prefetch, eviction_policy=eviction_policy
+        )
+
+
+def available_scenarios() -> list:
+    """Sorted names of the registered scenarios."""
+    return SCENARIOS.names()
+
+
+def build_scenario(name: str, seed: int = 0, train_config: Optional[TrainConfig] = None,
+                   **overrides) -> ClusterWorkload:
+    """Materialize the named scenario, applying any field overrides.
+
+    ``overrides`` accepts any :class:`ClusterScenario` field (``scale``,
+    ``num_machines``, ``trainers_per_machine``, ``batch_size``, ``epochs``,
+    ``backend``, ...); ``None`` values are ignored so CLI flags can be passed
+    through unconditionally.
+    """
+    scenario: ClusterScenario = SCENARIOS.build(name)
+    scenario = scenario.with_overrides(**overrides)
+    return scenario.materialize(seed=seed, train_config=train_config)

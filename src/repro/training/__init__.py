@@ -1,6 +1,7 @@
 """Training pipelines: baseline DistDGL-style and MassiveGNN prefetch-enabled."""
 
 from repro.training.baseline import train_baseline
+from repro.training.cluster_engine import ClusterEngine, ClusterReport, TrainerRunStats
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
 from repro.training.evaluate import evaluate_accuracy, evaluate_loss, majority_class_accuracy
@@ -37,6 +38,9 @@ __all__ = [
     "train_with_pipeline",
     "TrainConfig",
     "TrainingEngine",
+    "ClusterEngine",
+    "ClusterReport",
+    "TrainerRunStats",
     "PIPELINES",
     "OverlappedTimingPolicy",
     "SerialTimingPolicy",

@@ -1,0 +1,436 @@
+"""Cluster-scale pipeline execution: every trainer runs its own pipeline.
+
+:class:`ClusterEngine` is the multi-machine counterpart of
+:class:`~repro.training.engine.TrainingEngine`: it instantiates one registered
+:class:`~repro.sampling.pipeline.MiniBatchPipeline` per
+:class:`~repro.distributed.cluster.TrainerContext` — each trainer with its own
+:class:`~repro.features.store.FeatureStore`, RNG streams, and
+:class:`~repro.distributed.clock.SimClock` — and steps them epoch-by-epoch
+with synchronous :func:`~repro.distributed.ddp.allreduce_gradients` barriers.
+Allreduce cost and straggler wait both go through the cost model, so
+per-trainer and critical-path simulated times come out of the same Eq. 2 /
+Eqs. 3–5 timing policies the single-run engine uses.
+
+What it adds over ``TrainingEngine``:
+
+* **heterogeneity** — each machine charges compute through its own cost model
+  (:meth:`SimCluster.cost_model_for_machine`), so ``compute_multipliers`` in
+  the :class:`~repro.distributed.cluster.ClusterConfig` simulate straggler
+  machines;
+* **barrier telemetry** — the wait each trainer spends at every allreduce
+  barrier is measured separately from pipeline stalls, giving per-trainer
+  straggler-wait totals and cluster load imbalance;
+* **cluster-level aggregation** — per-trainer ``FetchStats``/buffer/RPC
+  telemetry is rolled up into a :class:`ClusterReport` (critical path, hit
+  rates, RPC bytes) consumed by ``bench_cluster_scaling`` and the CLI's
+  ``run --cluster`` command.
+
+The loop is deliberately an independent implementation of the engine's epoch
+semantics (sharing only :func:`~repro.training.engine.train_step` and the
+report assembly): the differential tests in ``tests/test_cluster_engine.py``
+prove that on a homogeneous cluster it reproduces ``run_pipeline`` numerics
+bit-for-bit, which is what makes the scenario extensions trustworthy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.config import PrefetchConfig
+from repro.core.eviction import EvictionPolicy
+from repro.distributed.cluster import SimCluster
+from repro.distributed.ddp import allreduce_gradients
+from repro.features.store import merge_store_summaries
+from repro.nn import build_model, build_optimizer
+from repro.sampling.pipeline import MiniBatchPipeline
+from repro.training.config import TrainConfig
+from repro.training.engine import (
+    PipelineBuilder,
+    apply_averaged_gradients,
+    assemble_training_report,
+    train_step,
+)
+from repro.training.pipelines import PIPELINES
+from repro.training.telemetry import ComponentAccumulator, EpochRecord, TrainingReport
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class TrainerRunStats:
+    """One trainer's cluster-run summary (telemetry, not numerics)."""
+
+    global_rank: int
+    machine: int
+    local_rank: int
+    simulated_time_s: float
+    barrier_wait_s: float
+    num_steps: int
+    compute_multiplier: float = 1.0
+    hit_rate: Optional[float] = None
+    rpc_stats: Dict[str, float] = field(default_factory=dict)
+    components: Dict[str, float] = field(default_factory=dict)
+    store_summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def busy_time_s(self) -> float:
+        """Simulated time spent off the barrier (pipeline + compute + stalls)."""
+        return self.simulated_time_s - self.barrier_wait_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "global_rank": self.global_rank,
+            "machine": self.machine,
+            "local_rank": self.local_rank,
+            "simulated_time_s": self.simulated_time_s,
+            "barrier_wait_s": self.barrier_wait_s,
+            "busy_time_s": self.busy_time_s,
+            "num_steps": self.num_steps,
+            "compute_multiplier": self.compute_multiplier,
+            "hit_rate": self.hit_rate,
+            "rpc_stats": dict(self.rpc_stats),
+            "components": dict(self.components),
+            "store_summary": dict(self.store_summary),
+        }
+
+
+@dataclass
+class ClusterReport:
+    """A :class:`TrainingReport` plus the cluster-level telemetry roll-up."""
+
+    report: TrainingReport
+    trainer_stats: List[TrainerRunStats] = field(default_factory=list)
+    scenario: Optional[str] = None
+    store_summary: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Cluster aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def critical_path_time_s(self) -> float:
+        """The cluster finishes when its slowest trainer does."""
+        if not self.trainer_stats:
+            return self.report.total_simulated_time_s
+        return max(t.simulated_time_s for t in self.trainer_stats)
+
+    @property
+    def critical_trainer_rank(self) -> int:
+        """Global rank of the trainer defining the critical path."""
+        if not self.trainer_stats:
+            return 0
+        return max(self.trainer_stats, key=lambda t: t.simulated_time_s).global_rank
+
+    @property
+    def total_barrier_wait_s(self) -> float:
+        return float(sum(t.barrier_wait_s for t in self.trainer_stats))
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean per-trainer busy time (1.0 = perfectly balanced)."""
+        busy = [t.busy_time_s for t in self.trainer_stats]
+        mean = float(np.mean(busy)) if busy else 0.0
+        return float(max(busy) / mean) if mean > 0 else 1.0
+
+    @property
+    def mean_hit_rate(self) -> Optional[float]:
+        rates = [t.hit_rate for t in self.trainer_stats if t.hit_rate is not None]
+        return float(np.mean(rates)) if rates else None
+
+    @property
+    def total_rpc_bytes(self) -> int:
+        return int(sum(t.rpc_stats.get("bytes_fetched", 0.0) for t in self.trainer_stats))
+
+    @property
+    def total_rpc_requests(self) -> int:
+        return int(sum(t.rpc_stats.get("requests", 0.0) for t in self.trainer_stats))
+
+    def machine_times(self) -> Dict[int, float]:
+        """Per-machine simulated time (max over the machine's trainers)."""
+        out: Dict[int, float] = {}
+        for t in self.trainer_stats:
+            out[t.machine] = max(out.get(t.machine, 0.0), t.simulated_time_s)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        """Flat cluster-level metrics (benchmarks and the CLI table).
+
+        Values are floats except ``mode`` and ``scenario``, which are strings.
+        """
+        out = {
+            "mode": self.report.mode,
+            "scenario": self.scenario or "",
+            "num_machines": float(self.report.num_machines),
+            "world_size": float(self.report.world_size),
+            "epochs": float(self.report.epochs),
+            "critical_path_time_s": self.critical_path_time_s,
+            "critical_trainer_rank": float(self.critical_trainer_rank),
+            "total_barrier_wait_s": self.total_barrier_wait_s,
+            "load_imbalance": self.load_imbalance,
+            "total_rpc_bytes": float(self.total_rpc_bytes),
+            "total_rpc_requests": float(self.total_rpc_requests),
+            "final_train_accuracy": self.report.final_train_accuracy,
+            "num_minibatches": float(self.report.num_minibatches),
+        }
+        if self.mean_hit_rate is not None:
+            out["mean_hit_rate"] = self.mean_hit_rate
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable dump (golden-number fixtures, trace files)."""
+        return {
+            "scenario": self.scenario,
+            "mode": self.report.mode,
+            "dataset": self.report.dataset,
+            "num_machines": self.report.num_machines,
+            "trainers_per_machine": self.report.trainers_per_machine,
+            "epochs": self.report.epochs,
+            "total_simulated_time_s": self.report.total_simulated_time_s,
+            "critical_path_time_s": self.critical_path_time_s,
+            "total_barrier_wait_s": self.total_barrier_wait_s,
+            "load_imbalance": self.load_imbalance,
+            "num_minibatches": self.report.num_minibatches,
+            "losses": [r.loss for r in self.report.epoch_records],
+            "epoch_times_s": [r.simulated_time_s for r in self.report.epoch_records],
+            "train_accuracies": [r.train_accuracy for r in self.report.epoch_records],
+            "hit_rate": self.report.hit_rate if self.report.hit_tracker else None,
+            "total_rpc_bytes": self.total_rpc_bytes,
+            "total_rpc_requests": self.total_rpc_requests,
+            "trainers": [t.as_dict() for t in self.trainer_stats],
+        }
+
+
+class ClusterEngine:
+    """Run one minibatch pipeline per trainer across a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        train_config: TrainConfig,
+        scenario: Optional[str] = None,
+    ):
+        self.cluster = cluster
+        self.config = train_config
+        self.cost_model = cluster.cost_model
+        self.dataset = cluster.dataset
+        self.scenario = scenario
+        cluster.validate_seed_coverage()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        pipeline: Union[str, PipelineBuilder] = "baseline",
+        prefetch_config: Optional[PrefetchConfig] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+    ) -> ClusterReport:
+        """Train the cluster with one *pipeline* instance per trainer.
+
+        Same contract as :meth:`TrainingEngine.run_pipeline`, but returns a
+        :class:`ClusterReport` whose embedded :class:`TrainingReport` is
+        bit-identical to the single-run engine's on a homogeneous cluster.
+        """
+        if isinstance(pipeline, str):
+            name: Optional[str] = PIPELINES.resolve(pipeline)
+            builder: PipelineBuilder = PIPELINES.get(pipeline)
+        else:
+            name = None
+            builder = pipeline
+
+        wall_start = time.perf_counter()
+        cluster, config = self.cluster, self.config
+        cluster.reset()
+
+        model = build_model(
+            config.arch,
+            in_dim=self.dataset.feature_dim,
+            hidden_dim=config.hidden_dim,
+            num_classes=self.dataset.num_classes,
+            num_layers=config.num_layers,
+            num_heads=config.num_heads,
+            seed=derive_seed(config.seed, 401),
+        )
+        optimizer = build_optimizer(
+            config.optimizer, lr=config.learning_rate, weight_decay=config.weight_decay
+        )
+        num_params = model.num_parameters()
+        trainers = cluster.trainers
+        world = len(trainers)
+        # Heterogeneity: compute is charged through the owning machine's cost
+        # model; with all multipliers at 1.0 these are value-identical to the
+        # shared model, which is what keeps the differential tests exact.
+        cost_models = [cluster.cost_model_for_machine(t.machine) for t in trainers]
+
+        pipelines: List[MiniBatchPipeline] = [
+            builder(
+                trainer,
+                cluster,
+                prefetch_config=prefetch_config,
+                eviction_policy=eviction_policy,
+            )
+            for trainer in trainers
+        ]
+        mode = name or (pipelines[0].name if pipelines else "pipeline")
+        init_reports: List[Dict[str, float]] = []
+        for trainer, pl in zip(trainers, pipelines):
+            if pl.init_report is not None:
+                trainer.clock.advance(pl.init_time_s, "init")
+                init_reports.append(dict(pl.init_report))
+
+        accumulators = [ComponentAccumulator() for _ in range(world)]
+        trainer_steps = [0] * world
+        barrier_waits = [0.0] * world
+        total_minibatches = 0
+        epoch_records: List[EpochRecord] = []
+        previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+
+        for epoch in range(config.epochs):
+            iterators = [iter(pl.epoch()) for pl in pipelines]
+            active = [True] * world
+            losses: List[float] = []
+            correct = 0
+            seen = 0
+            steps_this_epoch = 0
+
+            while any(active):
+                if (
+                    config.max_steps_per_epoch is not None
+                    and steps_this_epoch >= config.max_steps_per_epoch
+                ):
+                    break
+                step_grads: List[Dict[str, np.ndarray]] = []
+                participated: List[int] = []
+                for i, trainer in enumerate(trainers):
+                    if not active[i]:
+                        continue
+                    try:
+                        batch = next(iterators[i])
+                    except StopIteration:
+                        active[i] = False
+                        continue
+                    timing, loss, n_correct, n_seen, grads = train_step(
+                        cost_models[i],
+                        trainer,
+                        batch,
+                        model,
+                        pipelines[i].timing,
+                        trainer_steps[i],
+                    )
+                    trainer_steps[i] += 1
+                    total_minibatches += 1
+                    accumulators[i].add(timing)
+                    losses.append(loss)
+                    correct += n_correct
+                    seen += n_seen
+                    step_grads.append(grads)
+                    participated.append(i)
+
+                if not step_grads:
+                    break
+                averaged = allreduce_gradients(step_grads)
+                self._allreduce_barrier(participated, accumulators, barrier_waits, num_params)
+                apply_averaged_gradients(optimizer, model, averaged)
+                steps_this_epoch += 1
+
+            epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+            hit_rates = [pl.hit_rate for pl in pipelines if pl.hit_rate is not None]
+            epoch_records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    simulated_time_s=epoch_end - previous_epoch_end,
+                    loss=float(np.mean(losses)) if losses else 0.0,
+                    train_accuracy=correct / seen if seen else 0.0,
+                    hit_rate=float(np.mean(hit_rates)) if hit_rates else None,
+                )
+            )
+            previous_epoch_end = epoch_end
+
+        report = assemble_training_report(
+            mode=mode,
+            cluster=cluster,
+            train_config=config,
+            pipelines=pipelines,
+            accumulators=accumulators,
+            epoch_records=epoch_records,
+            init_reports=init_reports,
+            total_minibatches=total_minibatches,
+            wall_clock_s=time.perf_counter() - wall_start,
+            model=model,
+            prefetch_config=prefetch_config,
+        )
+        self._final_model = model
+        return ClusterReport(
+            report=report,
+            trainer_stats=self._collect_trainer_stats(pipelines, trainer_steps, barrier_waits),
+            scenario=self.scenario,
+            store_summary=merge_store_summaries(
+                pl.feature_store.summary()
+                for pl in pipelines
+                if pl.feature_store is not None
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _allreduce_barrier(
+        self,
+        participated: List[int],
+        accumulators: List[ComponentAccumulator],
+        barrier_waits: List[float],
+        num_params: int,
+    ) -> None:
+        """Charge allreduce cost, then hold every trainer at the barrier.
+
+        The wait each trainer spends for the step's straggler is measured
+        *before* the clocks are advanced, so barrier wait is separable from
+        the pipeline's own stalls while the clock totals stay identical to
+        :class:`TrainingEngine`'s accounting.
+        """
+        trainers = self.cluster.trainers
+        allreduce_t = self.cost_model.time_allreduce(num_params, len(trainers))
+        for i in participated:
+            trainers[i].clock.advance(allreduce_t, "allreduce")
+            accumulators[i].totals["allreduce"] += allreduce_t
+        latest = max(t.clock.time for t in trainers)
+        for i, trainer in enumerate(trainers):
+            wait = latest - trainer.clock.time
+            if wait > 0:
+                barrier_waits[i] += wait
+                trainer.clock.advance(wait, "stall")
+
+    def _collect_trainer_stats(
+        self,
+        pipelines: List[MiniBatchPipeline],
+        trainer_steps: List[int],
+        barrier_waits: List[float],
+    ) -> List[TrainerRunStats]:
+        stats: List[TrainerRunStats] = []
+        for i, (trainer, pl) in enumerate(zip(self.cluster.trainers, pipelines)):
+            stats.append(
+                TrainerRunStats(
+                    global_rank=trainer.global_rank,
+                    machine=trainer.machine,
+                    local_rank=trainer.local_rank,
+                    simulated_time_s=trainer.clock.time,
+                    barrier_wait_s=barrier_waits[i],
+                    num_steps=trainer_steps[i],
+                    compute_multiplier=self.cluster.config.compute_multiplier(trainer.machine),
+                    hit_rate=pl.hit_rate,
+                    rpc_stats=trainer.rpc.stats.as_dict(),
+                    components=trainer.clock.breakdown(),
+                    store_summary=(
+                        pl.feature_store.summary() if pl.feature_store is not None else {}
+                    ),
+                )
+            )
+        return stats
+
+    # ------------------------------------------------------------------ #
+    @property
+    def final_model(self):
+        """The trained model from the most recent run."""
+        model = getattr(self, "_final_model", None)
+        if model is None:
+            raise RuntimeError("no cluster run has completed yet")
+        return model

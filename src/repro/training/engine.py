@@ -55,6 +55,184 @@ from repro.utils.rng import derive_seed
 PipelineBuilder = Callable[..., MiniBatchPipeline]
 
 
+# --------------------------------------------------------------------------- #
+# Shared step / update / report machinery
+#
+# The single-run :class:`TrainingEngine` and the scenario-driven
+# :class:`~repro.training.cluster_engine.ClusterEngine` execute the same
+# per-trainer step and produce the same :class:`TrainingReport`; keeping these
+# as module functions is what lets the differential tests pin the two loops to
+# bit-identical numerics.
+# --------------------------------------------------------------------------- #
+def train_step(
+    cost_model,
+    trainer: TrainerContext,
+    batch: PipelineBatch,
+    model,
+    timing_policy,
+    trainer_step: int,
+) -> Tuple[StepTiming, float, int, int, Dict[str, np.ndarray]]:
+    """One trainer's minibatch step: compute, gradients, and time accounting.
+
+    ``cost_model`` is passed explicitly so heterogeneous clusters can charge
+    different machines at different rates (straggler simulation) while the
+    numerics stay identical.
+    """
+    cost = cost_model
+    minibatch = batch.minibatch
+    fetch = batch.fetch.merged
+
+    timing = StepTiming(
+        sampling=cost.time_sampling(minibatch.total_edges()),
+        copy=fetch.copy_time_s,
+        rpc=fetch.rpc_time_s,
+        lookup=cost.time_lookup(fetch.lookup_nodes),
+        scoring=cost.time_scoring(fetch.scoring_nodes),
+        eviction=(
+            cost.time_eviction(fetch.buffer_capacity, fetch.nodes_replaced)
+            if fetch.eviction_round
+            else 0.0
+        ),
+    )
+
+    # ---------------- model compute ----------------
+    logits = model.forward(minibatch.blocks, batch.features)
+    loss, grad_logits = cross_entropy(logits, minibatch.labels)
+    model.backward(grad_logits)
+    grads = {name: grad.copy() for name, grad in model.gradients().items()}
+    model.zero_grad()
+    preds = np.argmax(logits, axis=1)
+    n_correct = int(np.sum(preds == minibatch.labels))
+    n_seen = int(len(minibatch.labels))
+    timing.ddp = cost.time_compute(model.flops(minibatch))
+
+    # ---------------- simulated time accounting ----------------
+    # The pipeline's timing policy decides what is on the critical path
+    # (Eq. 2 for the serial baseline; Eqs. 3–5 when preparation overlaps
+    # training) — the engine itself has no notion of "modes".
+    timing_policy.account(timing, trainer_step, trainer.clock)
+    return timing, loss, n_correct, n_seen, grads
+
+
+def apply_averaged_gradients(optimizer, model, averaged: Dict[str, np.ndarray]) -> bool:
+    """Apply one synchronized DDP update; no-op when nobody contributed.
+
+    When every trainer passed an empty gradient dict to
+    :func:`~repro.distributed.ddp.allreduce_gradients` (all replicas joined
+    with uneven inputs exhausted), the averaged dict is empty and the step
+    must be skipped entirely — calling ``optimizer.step`` with it would raise
+    a key-mismatch instead of honoring DDP's join semantics.
+    """
+    if not averaged:
+        return False
+    optimizer.step(model.parameters(), averaged)
+    model.zero_grad()
+    return True
+
+
+def assemble_training_report(
+    *,
+    mode: str,
+    cluster: SimCluster,
+    train_config: TrainConfig,
+    pipelines: List[MiniBatchPipeline],
+    accumulators: List[ComponentAccumulator],
+    epoch_records: List[EpochRecord],
+    init_reports: List[Dict[str, float]],
+    total_minibatches: int,
+    wall_clock_s: float,
+    model,
+    prefetch_config: Optional[PrefetchConfig],
+) -> TrainingReport:
+    """Assemble the :class:`TrainingReport` for one completed run.
+
+    Shared by :class:`TrainingEngine` and the cluster engine so both produce
+    reports with identical numerics from identical run state.  Trainers, the
+    dataset, and the cost model are derived from *cluster* so a caller cannot
+    pass an inconsistent combination.
+    """
+    config = train_config
+    trainers = cluster.trainers
+    cost_model = cluster.cost_model
+    dataset = cluster.dataset
+    num_params = model.num_parameters()
+    total_time = max(t.clock.time for t in trainers) if trainers else 0.0
+    breakdown_means = [acc.mean() for acc in accumulators]
+    mean_breakdown: Dict[str, float] = {}
+    for key in ComponentAccumulator.FIELDS:
+        totals = [acc.totals[key] for acc in accumulators]
+        mean_breakdown[key] = float(np.mean(totals)) if totals else 0.0
+    overlapped = any(
+        pl.timing is not None and getattr(pl.timing, "overlaps_preparation", False)
+        for pl in pipelines
+    )
+    overlap = (
+        float(np.mean([acc.overlap_efficiency() for acc in accumulators]))
+        if overlapped and accumulators
+        else 1.0
+    )
+    trackers = [pl.hit_tracker for pl in pipelines if pl.hit_tracker is not None]
+    prefetchers = [pl.prefetcher for pl in pipelines if pl.prefetcher is not None]
+
+    report = TrainingReport(
+        mode=mode,
+        backend=cost_model.backend,
+        dataset=dataset.name,
+        arch=config.arch,
+        num_machines=cluster.config.num_machines,
+        trainers_per_machine=cluster.config.trainers_per_machine,
+        epochs=config.epochs,
+        total_simulated_time_s=total_time,
+        wall_clock_s=wall_clock_s,
+        epoch_records=epoch_records,
+        component_breakdown=mean_breakdown,
+        per_trainer_breakdown=breakdown_means,
+        rpc_stats=aggregate_rpc_stats([t.rpc for t in trainers]),
+        hit_tracker=merge_trainer_hit_trackers(trackers) if trackers else None,
+        per_trainer_hit_trackers=trackers,
+        prefetch_init=init_reports,
+        overlap_efficiency=overlap,
+        final_train_accuracy=epoch_records[-1].train_accuracy if epoch_records else 0.0,
+        num_minibatches=total_minibatches,
+        config_description=prefetch_config.describe() if prefetch_config else mode,
+    )
+    if prefetchers:
+        report.extras["mean_buffer_nbytes"] = float(
+            np.mean([p.buffer_nbytes() for p in prefetchers])
+        )
+        report.extras["mean_scoreboard_nbytes"] = float(
+            np.mean([p.scoreboard_nbytes() for p in prefetchers])
+        )
+        report.extras["remote_nodes_fetched_prefetch"] = float(
+            np.sum([p.counters.remote_nodes_fetched for p in prefetchers])
+        )
+    stores = [pl.feature_store for pl in pipelines if pl.feature_store is not None]
+    if stores:
+        report.extras["mean_feature_store_nbytes"] = float(
+            np.mean([store.nbytes() for store in stores])
+        )
+
+    if config.evaluate:
+        report.val_accuracy = evaluate_accuracy(
+            model,
+            dataset,
+            dataset.val_nids(),
+            fanouts=cluster.config.fanouts,
+            batch_size=config.eval_batch_size,
+            seed=derive_seed(config.seed, 997),
+        )
+        report.test_accuracy = evaluate_accuracy(
+            model,
+            dataset,
+            dataset.test_nids(),
+            fanouts=cluster.config.fanouts,
+            batch_size=config.eval_batch_size,
+            seed=derive_seed(config.seed, 998),
+        )
+    report.extras["model_num_parameters"] = float(num_params)
+    return report
+
+
 class TrainingEngine:
     """Runs any registered minibatch pipeline on a :class:`SimCluster`."""
 
@@ -212,8 +390,7 @@ class TrainingEngine:
                     trainers[i].clock.advance(allreduce_t, "allreduce")
                     accumulators[i].totals["allreduce"] += allreduce_t
                 synchronize([t.clock for t in trainers])
-                optimizer.step(model.parameters(), averaged)
-                model.zero_grad()
+                apply_averaged_gradients(optimizer, model, averaged)
                 steps_this_epoch += 1
 
             epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
@@ -229,83 +406,19 @@ class TrainingEngine:
             )
             previous_epoch_end = epoch_end
 
-        # ------------------------------------------------------------------ #
-        # Assemble the report
-        # ------------------------------------------------------------------ #
-        total_time = max(t.clock.time for t in trainers) if trainers else 0.0
-        breakdown_means = [acc.mean() for acc in accumulators]
-        mean_breakdown: Dict[str, float] = {}
-        for key in ComponentAccumulator.FIELDS:
-            totals = [acc.totals[key] for acc in accumulators]
-            mean_breakdown[key] = float(np.mean(totals)) if totals else 0.0
-        overlapped = any(
-            pl.timing is not None and getattr(pl.timing, "overlaps_preparation", False)
-            for pl in pipelines
-        )
-        overlap = (
-            float(np.mean([acc.overlap_efficiency() for acc in accumulators]))
-            if overlapped and accumulators
-            else 1.0
-        )
-        trackers = [pl.hit_tracker for pl in pipelines if pl.hit_tracker is not None]
-        prefetchers = [pl.prefetcher for pl in pipelines if pl.prefetcher is not None]
-
-        report = TrainingReport(
+        report = assemble_training_report(
             mode=mode,
-            backend=self.cost_model.backend,
-            dataset=self.dataset.name,
-            arch=config.arch,
-            num_machines=cluster.config.num_machines,
-            trainers_per_machine=cluster.config.trainers_per_machine,
-            epochs=config.epochs,
-            total_simulated_time_s=total_time,
-            wall_clock_s=time.perf_counter() - wall_start,
+            cluster=cluster,
+            train_config=config,
+            pipelines=pipelines,
+            accumulators=accumulators,
             epoch_records=epoch_records,
-            component_breakdown=mean_breakdown,
-            per_trainer_breakdown=breakdown_means,
-            rpc_stats=aggregate_rpc_stats([t.rpc for t in trainers]),
-            hit_tracker=merge_trainer_hit_trackers(trackers) if trackers else None,
-            per_trainer_hit_trackers=trackers,
-            prefetch_init=init_reports,
-            overlap_efficiency=overlap,
-            final_train_accuracy=epoch_records[-1].train_accuracy if epoch_records else 0.0,
-            num_minibatches=total_minibatches,
-            config_description=prefetch_config.describe() if prefetch_config else mode,
+            init_reports=init_reports,
+            total_minibatches=total_minibatches,
+            wall_clock_s=time.perf_counter() - wall_start,
+            model=model,
+            prefetch_config=prefetch_config,
         )
-        if prefetchers:
-            report.extras["mean_buffer_nbytes"] = float(
-                np.mean([p.buffer_nbytes() for p in prefetchers])
-            )
-            report.extras["mean_scoreboard_nbytes"] = float(
-                np.mean([p.scoreboard_nbytes() for p in prefetchers])
-            )
-            report.extras["remote_nodes_fetched_prefetch"] = float(
-                np.sum([p.counters.remote_nodes_fetched for p in prefetchers])
-            )
-        stores = [pl.feature_store for pl in pipelines if pl.feature_store is not None]
-        if stores:
-            report.extras["mean_feature_store_nbytes"] = float(
-                np.mean([store.nbytes() for store in stores])
-            )
-
-        if config.evaluate:
-            report.val_accuracy = evaluate_accuracy(
-                model,
-                self.dataset,
-                self.dataset.val_nids(),
-                fanouts=cluster.config.fanouts,
-                batch_size=config.eval_batch_size,
-                seed=derive_seed(config.seed, 997),
-            )
-            report.test_accuracy = evaluate_accuracy(
-                model,
-                self.dataset,
-                self.dataset.test_nids(),
-                fanouts=cluster.config.fanouts,
-                batch_size=config.eval_batch_size,
-                seed=derive_seed(config.seed, 998),
-            )
-        report.extras["model_num_parameters"] = float(num_params)
         self._final_model = model
         return report
 
@@ -320,40 +433,7 @@ class TrainingEngine:
         timing_policy,
         trainer_step: int,
     ) -> Tuple[StepTiming, float, int, int, Dict[str, np.ndarray]]:
-        cost = self.cost_model
-        minibatch = batch.minibatch
-        fetch = batch.fetch.merged
-
-        timing = StepTiming(
-            sampling=cost.time_sampling(minibatch.total_edges()),
-            copy=fetch.copy_time_s,
-            rpc=fetch.rpc_time_s,
-            lookup=cost.time_lookup(fetch.lookup_nodes),
-            scoring=cost.time_scoring(fetch.scoring_nodes),
-            eviction=(
-                cost.time_eviction(fetch.buffer_capacity, fetch.nodes_replaced)
-                if fetch.eviction_round
-                else 0.0
-            ),
-        )
-
-        # ---------------- model compute ----------------
-        logits = model.forward(minibatch.blocks, batch.features)
-        loss, grad_logits = cross_entropy(logits, minibatch.labels)
-        model.backward(grad_logits)
-        grads = {name: grad.copy() for name, grad in model.gradients().items()}
-        model.zero_grad()
-        preds = np.argmax(logits, axis=1)
-        n_correct = int(np.sum(preds == minibatch.labels))
-        n_seen = int(len(minibatch.labels))
-        timing.ddp = cost.time_compute(model.flops(minibatch))
-
-        # ---------------- simulated time accounting ----------------
-        # The pipeline's timing policy decides what is on the critical path
-        # (Eq. 2 for the serial baseline; Eqs. 3–5 when preparation overlaps
-        # training) — the engine itself has no notion of "modes".
-        timing_policy.account(timing, trainer_step, trainer.clock)
-        return timing, loss, n_correct, n_seen, grads
+        return train_step(self.cost_model, trainer, batch, model, timing_policy, trainer_step)
 
     # ------------------------------------------------------------------ #
     @property
