@@ -1,0 +1,275 @@
+"""Hot-path benchmark: sampler throughput + owner-coalesced RPC accounting.
+
+Seeds the repository's perf trajectory (``BENCH_hotpath.json``) with the three
+quantities the sampler→fetch→prefetch hot path is judged on:
+
+* **sampler ns/node** — wall-clock cost of the ``loop`` (per-node reference)
+  vs. ``vectorized`` (batched partial Fisher–Yates) samplers on a 100k-node
+  smoke graph (papers100M-like average degree), plus a hub-heavy R-MAT stress
+  graph and the ``legacy`` ``Generator.choice`` baseline.  The script exits
+  nonzero if the vectorized sampler's smoke-graph speedup over the loop
+  sampler falls below ``--min-speedup`` — the CI gate.
+* **fetch rows/s** — feature-store assembly throughput on the hot-halo
+  workload's buffered data path.
+* **wire-request counts** — logical vs. coalesced wire RPC totals of the
+  ``hot-halo`` scenario under the ``per-call`` and ``batched`` channels; the
+  run asserts that numerics are identical, logical demand matches exactly, and
+  the batched channel's wire requests strictly decrease (Fig. 11 accounting).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_hotpath.json
+
+Smoke-scale knobs (CI): ``--graph-nodes 20000 --rmat-scale 14 --rounds 2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed.rpc import aggregate_rpc_stats
+from repro.features import LocalKVStoreSource, SourceContext, build_feature_source
+from repro.features.store import FeatureStore
+from repro.graph.generators import planted_partition_graph, rmat_graph
+from repro.sampling.neighbor_sampler import build_sampler
+from repro.scenarios import SCENARIOS
+
+SAMPLER_NAMES = ("loop", "vectorized", "legacy")
+
+
+# --------------------------------------------------------------------------- #
+# Part 1: sampler throughput (loop vs. vectorized vs. legacy)
+# --------------------------------------------------------------------------- #
+def bench_samplers(graph, batch_size: int, rounds: int, fanouts):
+    seed_rng = np.random.default_rng(3)
+    seed_batches = [
+        np.unique(seed_rng.integers(0, graph.num_nodes, size=batch_size))
+        for _ in range(rounds)
+    ]
+
+    # Self-check: the loop and vectorized samplers must produce identical
+    # minibatches on the same seed before their timings are comparable.
+    check_a = build_sampler("loop", graph, fanouts, seed=1).sample(seed_batches[0])
+    check_b = build_sampler("vectorized", graph, fanouts, seed=1).sample(seed_batches[0])
+    for x, y in zip(check_a.blocks, check_b.blocks):
+        assert np.array_equal(x.src_nodes, y.src_nodes)
+        assert np.array_equal(x.edge_src, y.edge_src)
+        assert np.array_equal(x.edge_dst, y.edge_dst)
+
+    results = {}
+    for name in SAMPLER_NAMES:
+        build_sampler(name, graph, fanouts, seed=1).sample(seed_batches[0])  # warm-up
+        sampler = build_sampler(name, graph, fanouts, seed=1)
+        nodes_visited = 0
+        edges_sampled = 0
+        start = time.perf_counter()
+        for step, seeds in enumerate(seed_batches):
+            mb = sampler.sample(seeds, step=step)
+            nodes_visited += sum(block.num_dst for block in mb.blocks)
+            edges_sampled += mb.total_edges()
+        elapsed = time.perf_counter() - start
+        results[name] = {
+            "seconds_total": elapsed,
+            "seconds_per_batch": elapsed / rounds,
+            "ns_per_node": 1e9 * elapsed / max(1, nodes_visited),
+            "ns_per_edge": 1e9 * elapsed / max(1, edges_sampled),
+            "nodes_visited": int(nodes_visited),
+            "edges_sampled": int(edges_sampled),
+        }
+    return {
+        "graph_nodes": int(graph.num_nodes),
+        "graph_edges": int(graph.num_edges),
+        "batch_size": batch_size,
+        "rounds": rounds,
+        "fanouts": list(fanouts),
+        "per_sampler": results,
+        "speedup_vectorized_over_loop": (
+            results["loop"]["seconds_total"] / results["vectorized"]["seconds_total"]
+        ),
+        "speedup_vectorized_over_legacy": (
+            results["legacy"]["seconds_total"] / results["vectorized"]["seconds_total"]
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Part 2: hot-halo RPC accounting (per-call vs. batched) + fetch throughput
+# --------------------------------------------------------------------------- #
+def bench_hot_halo_rpc(scenario_scale: float, epochs: int):
+    runs = {}
+    losses = {}
+    for rpc in ("per-call", "batched"):
+        workload = (
+            SCENARIOS.build("hot-halo")
+            .with_overrides(scale=scenario_scale, epochs=epochs, rpc=rpc)
+            .materialize(seed=0)
+        )
+        report = workload.run()
+        agg = aggregate_rpc_stats([t.rpc for t in workload.cluster.trainers])
+        runs[rpc] = {
+            **agg.as_extended_dict(),
+            "critical_path_time_s": report.critical_path_time_s,
+        }
+        losses[rpc] = [r.loss for r in report.report.epoch_records]
+
+    # The three acceptance properties of owner coalescing:
+    assert losses["per-call"] == losses["batched"], "coalescing changed training numerics"
+    assert runs["per-call"]["nodes_requested"] == runs["batched"]["nodes_requested"], (
+        "per-step fetched-row totals must match exactly"
+    )
+    assert runs["per-call"]["logical_requests"] == runs["batched"]["logical_requests"]
+    assert runs["batched"]["requests"] < runs["per-call"]["requests"], (
+        "batched channel must strictly reduce wire requests on hot-halo"
+    )
+    reduction = 1.0 - runs["batched"]["requests"] / max(1, runs["per-call"]["requests"])
+    return {
+        "scenario": "hot-halo",
+        "scale": scenario_scale,
+        "epochs": epochs,
+        "per_channel": runs,
+        "wire_request_reduction_percent": 100.0 * reduction,
+    }
+
+
+def bench_fetch_throughput(scenario_scale: float, steps: int):
+    """Feature rows assembled per second through the buffered hot-halo store."""
+    workload = (
+        SCENARIOS.build("hot-halo")
+        .with_overrides(scale=scenario_scale, epochs=1)
+        .materialize(seed=0)
+    )
+    cluster = workload.cluster
+    trainer = cluster.trainers[0]
+    ctx = SourceContext(
+        rpc=trainer.rpc,
+        partition=trainer.partition,
+        num_global_nodes=cluster.dataset.num_nodes,
+        book=cluster.book,
+        prefetch_config=workload.scenario.prefetch_config,
+        seed=0,
+    )
+    store = FeatureStore(
+        partition=trainer.partition,
+        local_source=LocalKVStoreSource(trainer.rpc),
+        halo_source=build_feature_source("buffered", ctx),
+    )
+    store.initialize()
+    batches = []
+    epoch = iter(trainer.dataloader.epoch())
+    for _ in range(steps):
+        try:
+            batches.append(next(epoch))
+        except StopIteration:
+            break
+    rows = 0
+    start = time.perf_counter()
+    for minibatch in batches:
+        features, _ = store.fetch_minibatch(minibatch)
+        rows += features.shape[0]
+    elapsed = time.perf_counter() - start
+    return {
+        "steps": len(batches),
+        "rows_fetched": int(rows),
+        "seconds_total": elapsed,
+        "rows_per_s": rows / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--graph-nodes", type=int, default=100_000,
+                        help="nodes in the primary smoke graph (planted-partition, "
+                             "papers100M-like average degree ~15)")
+    parser.add_argument("--rmat-scale", type=int, default=17,
+                        help="R-MAT scale (log2 nodes) for the hub-heavy stress "
+                             "graph; 0 skips it")
+    parser.add_argument("--batch-size", type=int, default=4096,
+                        help="seed nodes per sampled minibatch")
+    parser.add_argument("--rounds", type=int, default=3, help="minibatches per sampler")
+    parser.add_argument("--fanouts", type=int, nargs="+", default=[10, 25])
+    parser.add_argument("--scenario-scale", type=float, default=0.05,
+                        help="hot-halo dataset scale for the RPC comparison")
+    parser.add_argument("--epochs", type=int, default=1, help="hot-halo epochs")
+    parser.add_argument("--fetch-steps", type=int, default=8,
+                        help="minibatches for the fetch-throughput probe")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail if vectorized/loop speedup falls below this "
+                             "(CI gate: vectorized must not be slower than loop)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_hotpath.json"))
+    args = parser.parse_args(argv)
+
+    def report(tag, result):
+        print(f"    [{tag}] {result['graph_nodes']} nodes / {result['graph_edges']} edges")
+        for name in SAMPLER_NAMES:
+            row = result["per_sampler"][name]
+            print(f"    {name:>10}: {row['seconds_per_batch']*1e3:8.1f} ms/batch   "
+                  f"{row['ns_per_node']:9.1f} ns/node   {row['ns_per_edge']:7.1f} ns/edge")
+        print(f"    vectorized speedup: {result['speedup_vectorized_over_loop']:.1f}x over loop, "
+              f"{result['speedup_vectorized_over_legacy']:.1f}x over legacy")
+
+    print(f"[1/3] sampler bench: {args.rounds} x {args.batch_size} seeds, "
+          f"fanouts {args.fanouts}")
+    smoke_graph, _ = planted_partition_graph(
+        args.graph_nodes, num_communities=10, avg_degree=15, intra_fraction=0.7, seed=7
+    )
+    sampler = {
+        "smoke": bench_samplers(smoke_graph, args.batch_size, args.rounds, args.fanouts)
+    }
+    report("smoke", sampler["smoke"])
+    if args.rmat_scale > 0:
+        stress_graph = rmat_graph(scale=args.rmat_scale, edge_factor=8, seed=7)
+        sampler["hub_stress"] = bench_samplers(
+            stress_graph, args.batch_size, args.rounds, args.fanouts
+        )
+        report("hub-stress", sampler["hub_stress"])
+
+    print(f"[2/3] hot-halo RPC: scale {args.scenario_scale}, {args.epochs} epoch(s)")
+    rpc = bench_hot_halo_rpc(args.scenario_scale, args.epochs)
+    for channel, row in rpc["per_channel"].items():
+        print(f"    {channel:>9}: wire requests {int(row['requests']):6d}   "
+              f"logical {int(row['logical_requests']):6d}   "
+              f"wire rows {int(row['nodes_fetched']):8d}   "
+              f"logical rows {int(row['nodes_requested']):8d}")
+    print(f"    wire-request reduction: {rpc['wire_request_reduction_percent']:.1f}% "
+          f"(identical numerics, identical logical rows)")
+
+    print(f"[3/3] fetch throughput: {args.fetch_steps} buffered hot-halo minibatches")
+    fetch = bench_fetch_throughput(args.scenario_scale, args.fetch_steps)
+    print(f"    {fetch['rows_per_s']:,.0f} rows/s over {fetch['rows_fetched']} rows")
+
+    payload = {
+        "benchmark": "hotpath",
+        "generated_by": "benchmarks/bench_hotpath.py",
+        "config": {
+            "graph_nodes": args.graph_nodes,
+            "rmat_scale": args.rmat_scale,
+            "batch_size": args.batch_size,
+            "rounds": args.rounds,
+            "fanouts": args.fanouts,
+            "scenario_scale": args.scenario_scale,
+            "epochs": args.epochs,
+        },
+        "sampler": sampler,
+        "rpc": rpc,
+        "fetch": fetch,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    speedup = sampler["smoke"]["speedup_vectorized_over_loop"]
+    if speedup < args.min_speedup:
+        print(f"FAIL: vectorized sampler speedup {speedup:.2f}x is below the "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

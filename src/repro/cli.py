@@ -34,7 +34,9 @@ from repro.core.config import PrefetchConfig
 from repro.core.eviction import EVICTION_POLICIES, build_eviction_policy
 from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
+from repro.distributed.rpc import RPC_CHANNELS
 from repro.graph.datasets import available_datasets, load_dataset
+from repro.sampling.neighbor_sampler import SAMPLERS
 from repro.scenarios import SCENARIOS, available_scenarios
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
@@ -78,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--eviction-policy", default=None, choices=EVICTION_POLICIES.names(),
         help="eviction policy for the prefetch buffer (default: the config's, score-threshold)",
+    )
+    run.add_argument(
+        "--sampler", default=None, choices=SAMPLERS.names(),
+        help="neighbor-sampler registry key (default: legacy). 'vectorized' is the "
+             "batched random-key fan-out draw; 'loop' is its per-node reference twin "
+             "(bit-identical output and RNG stream)",
+    )
+    run.add_argument(
+        "--rpc", default=None, choices=RPC_CHANNELS.names(),
+        help="RPC channel registry key (default: per-call). 'batched' coalesces a "
+             "step's remote pulls per owning partition machine-wide and merges "
+             "duplicate ids (stats report logical vs. wire requests separately)",
     )
     run.add_argument(
         "--cluster", action="store_true",
@@ -196,6 +210,8 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
         fanouts=tuple(args.fanouts) if args.fanouts else None,
         backend=args.backend,
         epochs=args.epochs,
+        sampler=args.sampler,
+        rpc=args.rpc,
     )
     prefetch_tuning = {
         key: value
@@ -290,6 +306,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fanouts=tuple(args.fanouts) if args.fanouts else (10, 25),
             backend=backend,
             seed=args.seed,
+            sampler=args.sampler or "legacy",
+            rpc=args.rpc or "per-call",
         ),
         cost_model=CostModel.preset(backend),
     )

@@ -151,7 +151,7 @@ class Prefetcher:
         order = np.argsort(-halo_degrees, kind="stable")
         selected = np.sort(halo[order[:capacity]])
 
-        owners = self.partition.halo_owner[np.searchsorted(self.partition.halo_global, selected)]
+        owners = self.partition.halo_owners_of(selected)
         rows, rpc_time, delta = self.rpc.remote_pull(selected, owners)
 
         self.buffer = PrefetchBuffer(selected, rows)
@@ -315,9 +315,13 @@ class Prefetcher:
         self.access_scores.set(unique_ids, current + counts.astype(np.float64))
 
     def _fetch_remote(self, global_ids: np.ndarray) -> Tuple[np.ndarray, float, object]:
-        """Pull *global_ids* from their owning partitions over RPC."""
-        idx = np.searchsorted(self.partition.halo_global, global_ids)
-        owners = self.partition.halo_owner[idx]
+        """Pull *global_ids* from their owning partitions over RPC.
+
+        Ownership resolution validates halo membership: a non-halo id would
+        previously map to an arbitrary neighbor's owner (wrong-owner routing);
+        now it raises ``KeyError`` naming the offending ids.
+        """
+        owners = self.partition.halo_owners_of(global_ids)
         return self.rpc.remote_pull(global_ids, owners)
 
     def _plan_eviction(self, step: int) -> Tuple[np.ndarray, np.ndarray]:

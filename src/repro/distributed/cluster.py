@@ -26,7 +26,12 @@ import numpy as np
 from repro.distributed.clock import SimClock
 from repro.distributed.cost_model import CostModel
 from repro.distributed.kvstore import KVStore
-from repro.distributed.rpc import RPCChannel
+from repro.distributed.rpc import (
+    RPC_CHANNELS,
+    CoalescingWindow,
+    RPCChannel,
+    build_rpc_channel,
+)
 from repro.distributed.server import PartitionServer
 from repro.graph.datasets import GraphDataset
 from repro.graph.halo import GraphPartition, build_partitions
@@ -46,6 +51,12 @@ class ClusterConfig:
     relative compute slowdown of machine *m* (``1.0`` nominal, ``2.0`` means
     that machine's trainers compute twice as slowly — a straggler).  ``None``
     means a homogeneous cluster.
+
+    ``sampler`` and ``rpc`` select hot-path implementations by registry key:
+    :data:`repro.sampling.neighbor_sampler.SAMPLERS` (``"legacy"`` default,
+    ``"vectorized"`` for the batched fan-out draw) and
+    :data:`repro.distributed.rpc.RPC_CHANNELS` (``"per-call"`` default,
+    ``"batched"`` for per-machine owner coalescing).
     """
 
     num_machines: int = 2
@@ -56,6 +67,8 @@ class ClusterConfig:
     backend: str = "cpu"
     seed: int = 0
     compute_multipliers: Optional[Sequence[float]] = None
+    sampler: str = "legacy"
+    rpc: str = "per-call"
 
     def __post_init__(self) -> None:
         check_positive(self.num_machines, "num_machines")
@@ -63,6 +76,12 @@ class ClusterConfig:
         check_positive(self.batch_size, "batch_size")
         if self.backend not in ("cpu", "gpu"):
             raise ValueError(f"backend must be 'cpu' or 'gpu', got {self.backend!r}")
+        # Resolve registry keys eagerly so typos fail at config time with the
+        # registry's list-of-valid-names error, not mid-run.
+        from repro.sampling.neighbor_sampler import SAMPLERS
+
+        self.sampler = SAMPLERS.resolve(self.sampler)
+        self.rpc = RPC_CHANNELS.resolve(self.rpc)
         if self.compute_multipliers is not None:
             multipliers = tuple(float(m) for m in self.compute_multipliers)
             if len(multipliers) != self.num_machines:
@@ -144,6 +163,13 @@ class SimCluster:
             self._server_objects.append(server)
             self.servers[partition.part_id] = server.kvstore
 
+        # One coalescing window per machine when the batched channel is
+        # selected: the machine's trainers share it, which is what lets their
+        # same-step pulls merge (DistDGL's per-machine batched KV client).
+        self._rpc_windows: List[Optional[CoalescingWindow]] = [
+            CoalescingWindow() if config.rpc == "batched" else None
+            for _ in range(config.num_machines)
+        ]
         self.trainers: List[TrainerContext] = self._spawn_trainers()
 
     # ------------------------------------------------------------------ #
@@ -170,8 +196,15 @@ class SimCluster:
                     batch_size=config.batch_size,
                     labels=self.dataset.labels,
                     seed=derive_seed(config.seed, 307, global_rank),
+                    sampler=config.sampler,
                 )
-                rpc = RPCChannel(self.servers, local_part=machine, cost_model=self.cost_model)
+                rpc = build_rpc_channel(
+                    config.rpc,
+                    self.servers,
+                    local_part=machine,
+                    cost_model=self.cost_model,
+                    window=self._rpc_windows[machine],
+                )
                 trainers.append(
                     TrainerContext(
                         global_rank=global_rank,
@@ -245,6 +278,9 @@ class SimCluster:
             trainer.dataloader.reset()
         for server in self._server_objects:
             server.reset_stats()
+        for window in self._rpc_windows:
+            if window is not None:
+                window.deactivate()
 
     def average_remote_nodes_per_trainer(self) -> float:
         """Table III's 'average number of remote nodes per trainer' statistic.

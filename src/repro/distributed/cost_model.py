@@ -111,6 +111,21 @@ class CostModel:
         payload = num_nodes * feature_dim * BYTES_PER_FEATURE
         return max(1, num_requests) * self.rpc_latency_s + payload / self.network_bandwidth_Bps
 
+    def time_rpc_batched(
+        self, num_nodes: int, feature_dim: int, num_new_requests: int
+    ) -> float:
+        """Coalesced remote pull: latency only for newly opened wire requests.
+
+        Rows riding an already-open per-owner request (or served from the
+        step's coalescing window) pay bandwidth but no additional latency;
+        a pull that moves nothing costs nothing.
+        """
+        payload = max(0, num_nodes) * feature_dim * BYTES_PER_FEATURE
+        return (
+            max(0, num_new_requests) * self.rpc_latency_s
+            + payload / self.network_bandwidth_Bps
+        )
+
     def time_copy(self, num_nodes: int, feature_dim: int) -> float:
         """Local copy of *num_nodes* feature rows from the co-located KVStore."""
         if num_nodes <= 0:

@@ -44,20 +44,10 @@ def halo_owners(partition: GraphPartition, global_ids: np.ndarray) -> np.ndarray
     Ids that are not halo neighbors of *partition* (e.g. nodes of a
     non-adjacent partition) have no entry in the halo tables; a blind
     ``searchsorted`` would silently return a wrong owner, so reject them.
+    Delegates to :meth:`~repro.graph.halo.GraphPartition.halo_owners_of`,
+    which the prefetcher's miss path shares.
     """
-    if len(global_ids) == 0:
-        return np.zeros(0, dtype=np.int64)
-    idx = np.searchsorted(partition.halo_global, global_ids)
-    in_range = idx < len(partition.halo_global)
-    valid = in_range.copy()
-    valid[in_range] = partition.halo_global[idx[in_range]] == global_ids[in_range]
-    if not np.all(valid):
-        missing = global_ids[~valid][:5]
-        raise KeyError(
-            f"nodes {missing.tolist()} are not halo neighbors of partition "
-            f"{partition.part_id}; cannot resolve their owners"
-        )
-    return partition.halo_owner[idx]
+    return partition.halo_owners_of(global_ids)
 
 
 class LocalKVStoreSource:
@@ -75,6 +65,10 @@ class LocalKVStoreSource:
         return self.rpc.servers[self.rpc.local_part].feature_dim
 
     def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
+        global_ids = check_1d_int_array(global_ids, "global_ids")
+        if len(global_ids) == 0:
+            # An empty request is not a pull: no copy, no call counted.
+            return np.zeros((0, self.feature_dim), dtype=np.float32), FetchStats(source=self.name)
         rows, copy_time = self.rpc.local_pull(global_ids)
         self._rows_served += int(len(global_ids))
         self._calls += 1
@@ -123,9 +117,11 @@ class RemoteRPCSource:
     def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
         global_ids = check_1d_int_array(global_ids, "global_ids")
         if len(global_ids) == 0:
-            owners = np.zeros(0, dtype=np.int64)
-        else:
-            owners = self.owner_of(global_ids)
+            # Zero rows after routing means zero RPCs: skip the pull entirely
+            # so the call/request counters only ever reflect real traffic.
+            dim = self.rpc.servers[self.rpc.local_part].feature_dim
+            return np.zeros((0, dim), dtype=np.float32), FetchStats(source=self.name)
+        owners = self.owner_of(global_ids)
         rows, rpc_time, delta = self.rpc.remote_pull(global_ids, owners)
         self._rows_served += int(len(global_ids))
         self._calls += 1

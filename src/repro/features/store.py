@@ -19,6 +19,7 @@ import numpy as np
 from repro.features.source import FeatureSource, FetchResult, FetchStats
 from repro.graph.halo import GraphPartition
 from repro.sampling.neighbor_sampler import split_local_halo
+from repro.utils.validation import check_1d_int_array
 
 LOCAL_ROLE = "local"
 HALO_ROLE = "halo"
@@ -82,15 +83,32 @@ class FeatureStore:
         return features, FetchResult(per_source={LOCAL_ROLE: local_stats, HALO_ROLE: halo_stats})
 
     def fetch(self, global_ids: np.ndarray) -> Tuple[np.ndarray, FetchStats]:
-        """Protocol-compatible fetch: route arbitrary global ids by ownership."""
-        global_ids = np.asarray(global_ids, dtype=np.int64)
+        """Protocol-compatible fetch: route arbitrary global ids by ownership.
+
+        Every id must be a node this partition knows about (owned or halo).
+        An id outside that universe used to fall through to the halo source
+        and fail far from the caller (or not at all, for book-routed sources);
+        now it raises ``KeyError`` here, naming the offending ids — the same
+        guard :func:`repro.features.sources.halo_owners` applies to halos.
+        """
+        global_ids = check_1d_int_array(global_ids, "global_ids")
+        known = self.partition.contains(global_ids)
+        if len(global_ids) and not np.all(known):
+            missing = global_ids[~known][:5]
+            raise KeyError(
+                f"nodes {missing.tolist()} are neither owned by nor halo "
+                f"neighbors of partition {self.partition.part_id}; refusing to "
+                f"guess an owner for them"
+            )
         # Ownership, not structural presence: halo nodes are *contained* in the
         # partition's local graph but their features live on other machines.
+        # Membership is decided without clipping searchsorted into range — an
+        # id past the last owned id is out of range, not the last owned row.
         if len(self._owned_sorted):
-            idx = np.minimum(
-                np.searchsorted(self._owned_sorted, global_ids), len(self._owned_sorted) - 1
-            )
-            is_local = self._owned_sorted[idx] == global_ids
+            idx = np.searchsorted(self._owned_sorted, global_ids)
+            in_range = idx < len(self._owned_sorted)
+            is_local = np.zeros(len(global_ids), dtype=bool)
+            is_local[in_range] = self._owned_sorted[idx[in_range]] == global_ids[in_range]
         else:
             is_local = np.zeros(len(global_ids), dtype=bool)
         local_rows = np.nonzero(is_local)[0]

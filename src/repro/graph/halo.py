@@ -81,6 +81,29 @@ class GraphPartition:
         """Global degrees of the halo nodes (used for degree-based prefetching)."""
         return self.global_degrees[self.num_owned:]
 
+    def halo_owners_of(self, global_ids: np.ndarray) -> np.ndarray:
+        """Owning partition of each halo id, validating membership.
+
+        Ids that are not halo neighbors of this partition have no entry in the
+        halo tables; a blind ``searchsorted`` would silently route them to a
+        wrong owner (whose KVStore would then reject or — worse — a clipped
+        lookup would serve the wrong row), so they raise ``KeyError`` instead.
+        """
+        global_ids = check_1d_int_array(global_ids, "global_ids")
+        if len(global_ids) == 0:
+            return np.zeros(0, dtype=np.int64)
+        idx = np.searchsorted(self.halo_global, global_ids)
+        in_range = idx < len(self.halo_global)
+        valid = in_range.copy()
+        valid[in_range] = self.halo_global[idx[in_range]] == global_ids[in_range]
+        if not np.all(valid):
+            missing = global_ids[~valid][:5]
+            raise KeyError(
+                f"nodes {missing.tolist()} are not halo neighbors of partition "
+                f"{self.part_id}; cannot resolve their owners"
+            )
+        return self.halo_owner[idx]
+
     def __post_init__(self) -> None:
         self.owned_global = np.asarray(self.owned_global, dtype=np.int64)
         self.halo_global = np.asarray(self.halo_global, dtype=np.int64)

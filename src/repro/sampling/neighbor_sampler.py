@@ -11,23 +11,100 @@ behaviour as DistDGL's local sampling with halo nodes.
 The sampler is deliberately stochastic and stateless across minibatches: this
 non-determinism is exactly why a static cache is insufficient and a scored
 prefetch buffer (the paper's contribution) is needed.
+
+Three implementations are registered in :data:`SAMPLERS`:
+
+* ``"legacy"`` — the original per-node loop drawing capped neighborhoods with
+  ``Generator.choice``.  It remains the **default** because the repository's
+  golden fixtures pin its exact RNG stream; ``choice``'s rejection-sampled
+  stream consumption cannot be reproduced by a batched draw.
+* ``"loop"`` — the per-node reference implementation of the *partial
+  Fisher–Yates* fan-out draw: a capped node consumes exactly ``fanout``
+  uniforms, each selecting the next swap target of a truncated shuffle.
+  Statistically identical to ``"legacy"`` (a uniform draw without
+  replacement) but expressible as one batched draw per layer.
+* ``"vectorized"`` — the hot-path implementation of the same draw:
+  degree-bucketed CSR slicing for take-all nodes and a **single** batched
+  ``rng.random`` call over offset arithmetic for all capped nodes, with the
+  ``fanout`` swap rounds vectorized across nodes.  Because NumPy generators
+  consume the stream sequentially, one batched draw is bit-equal to the
+  loop's concatenated per-node draws — ``"loop"`` and ``"vectorized"``
+  produce identical blocks, edge indices, and RNG-stream consumption (pinned
+  by ``tests/test_sampler_differential.py``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.halo import GraphPartition
 from repro.sampling.block import Block, MiniBatch
+from repro.utils.registry import Registry
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_1d_int_array
 
 
+def _finalize_layer(
+    dst: np.ndarray,
+    sampled_src: np.ndarray,
+    edge_dst: np.ndarray,
+    pos_scratch: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map sampled neighbors onto frontier rows; shared by every sampler.
+
+    ``pos_scratch`` is a reusable ``num_nodes``-sized array filled with ``-1``
+    (restored before returning) giving O(1) node-id -> frontier-row lookups,
+    replacing the former sort-based ``setdiff1d``/``searchsorted`` mapping
+    with identical results.
+
+    ``dst`` must be unique: the mapping resolves each sampled endpoint to
+    *one* row, so a duplicated dst entry would silently attach every edge to
+    an arbitrary occurrence and drop the others'.
+    :meth:`NeighborSampler.sample` guarantees uniqueness by deduplicating the
+    seeds at entry; direct callers get a loud error instead of lost edges.
+    """
+    rows = np.arange(len(dst), dtype=np.int64)
+    pos_scratch[dst] = rows
+    if not np.array_equal(pos_scratch[dst], rows):
+        pos_scratch[dst] = -1
+        raise ValueError(
+            "dst contains duplicate nodes; deduplicate the frontier before "
+            "sampling (sample() does this for seed batches) — a duplicated "
+            "dst row cannot be distinguished by the edge-index mapping"
+        )
+    # Frontier nodes not already in dst, sorted ascending (deduplicated), are
+    # appended after dst — same layout as the former setdiff1d construction.
+    mapped = pos_scratch[sampled_src]
+    new_mask = mapped < 0
+    candidates = sampled_src[new_mask]
+    if len(pos_scratch) <= 16 * len(candidates):
+        # Dense regime (frontier comparable to the graph): idempotent scratch
+        # marking + one linear scan beats hashing the much larger edge array.
+        pos_scratch[candidates] = -2
+        unique_new = np.nonzero(pos_scratch == -2)[0]
+    else:
+        # Sparse regime (big graph, small batch): stay bounded by the sampled
+        # endpoints instead of scanning every node.  Same sorted-unique result.
+        unique_new = np.unique(candidates)
+    pos_scratch[unique_new] = len(dst) + np.arange(len(unique_new), dtype=np.int64)
+    edge_src = mapped
+    edge_src[new_mask] = pos_scratch[candidates]
+    pos_scratch[dst] = -1
+    pos_scratch[unique_new] = -1
+    return unique_new, edge_src.astype(np.int64, copy=False), edge_dst.astype(np.int64, copy=False)
+
+
 class NeighborSampler:
     """Layer-wise uniform neighbor sampler over a local (partition) graph.
+
+    This base class is the ``"legacy"`` implementation: a per-node Python loop
+    drawing capped neighborhoods with ``Generator.choice``.  It stays the
+    default so the golden fixtures' RNG streams remain bit-identical; the
+    ``"loop"``/``"vectorized"`` pair in :data:`SAMPLERS` implements the
+    equivalent partial Fisher–Yates draw with a vectorizable stream.
 
     Parameters
     ----------
@@ -42,6 +119,8 @@ class NeighborSampler:
         RNG seed; each trainer uses an independent stream.
     """
 
+    name = "legacy"
+
     def __init__(self, graph: CSRGraph, fanouts: Sequence[int], seed: SeedLike = None):
         if not fanouts:
             raise ValueError("fanouts must contain at least one layer")
@@ -51,6 +130,9 @@ class NeighborSampler:
         self.graph = graph
         self.fanouts = [int(f) for f in fanouts]
         self.rng = ensure_rng(seed)
+        # Node-id -> frontier-row scratch for _finalize_layer (kept at -1
+        # between calls); one per sampler, so concurrent trainers never share.
+        self._pos_scratch = np.full(graph.num_nodes, -1, dtype=np.int64)
 
     @property
     def num_layers(self) -> int:
@@ -75,7 +157,12 @@ class NeighborSampler:
             local_to_global = np.arange(self.graph.num_nodes, dtype=np.int64)
 
         blocks: List[Block] = []
-        dst = np.unique(seeds)
+        # Repeated seeds in a batch are deduplicated here: each node's sampled
+        # neighborhood and label appear once, and every layer's dst frontier is
+        # unique — the invariant the edge-index mapping in _finalize_layer
+        # depends on (duplicates there would silently drop edges).
+        seed_nodes = np.unique(seeds)
+        dst = seed_nodes
         # Sample from the innermost layer (closest to seeds) outward; blocks are
         # then reversed so blocks[0] is the outermost (input) layer.
         for fanout in self.fanouts:
@@ -96,12 +183,12 @@ class NeighborSampler:
 
         input_local = blocks[0].src_nodes
         batch_labels = (
-            labels[local_to_global[np.unique(seeds)]]
+            labels[local_to_global[seed_nodes]]
             if labels is not None
             else np.zeros(0, dtype=np.int64)
         )
         return MiniBatch(
-            seeds_global=local_to_global[np.unique(seeds)],
+            seeds_global=local_to_global[seed_nodes],
             blocks=blocks,
             input_local=input_local,
             input_global=local_to_global[input_local],
@@ -138,16 +225,139 @@ class NeighborSampler:
         else:
             sampled_src = np.zeros(0, dtype=np.int64)
             edge_dst = np.zeros(0, dtype=np.int64)
+        return _finalize_layer(dst, sampled_src, edge_dst, self._pos_scratch)
 
-        # Deduplicate frontier nodes; new nodes are appended after dst.
-        unique_new = np.setdiff1d(sampled_src, dst, assume_unique=False)
-        # Map every sampled endpoint to its row in concat([dst, unique_new]).
-        lookup_ids = np.concatenate([dst, unique_new])
-        order = np.argsort(lookup_ids, kind="stable")
-        sorted_ids = lookup_ids[order]
-        pos = np.searchsorted(sorted_ids, sampled_src)
-        edge_src = order[pos]
-        return unique_new, edge_src.astype(np.int64), edge_dst.astype(np.int64)
+
+class LoopNeighborSampler(NeighborSampler):
+    """Per-node reference implementation of the partial Fisher–Yates draw.
+
+    A capped node with degree ``deg`` consumes exactly ``fanout`` uniform
+    doubles: swap round *i* exchanges positions ``i`` and
+    ``i + floor(u_i * (deg - i))`` of its neighbor list, and the first
+    ``fanout`` positions are the sample — a uniform draw without replacement
+    whose stream consumption, unlike ``Generator.choice``'s
+    rejection-sampled integers, is a fixed count of doubles.  Because NumPy
+    generators fill arrays sequentially, :class:`VectorizedNeighborSampler`
+    reproduces this loop bit-for-bit with one batched draw per layer; this
+    class exists as its differential twin and as the benchmark baseline.
+    """
+
+    name = "loop"
+
+    def _sample_one_layer(self, dst: np.ndarray, fanout: int):
+        indptr, indices = self.graph.indptr, self.graph.indices
+        sampled_src_chunks: List[np.ndarray] = []
+        edge_dst_chunks: List[np.ndarray] = []
+        for i, node in enumerate(dst):
+            start, end = indptr[node], indptr[node + 1]
+            neigh = indices[start:end]
+            if len(neigh) == 0:
+                continue
+            if fanout == -1 or len(neigh) <= fanout:
+                chosen = neigh
+            else:
+                u = self.rng.random(fanout)
+                deg = len(neigh)
+                arr = neigh.copy()
+                for r in range(fanout):
+                    j = r + int(u[r] * (deg - r))
+                    arr[r], arr[j] = arr[j], arr[r]
+                chosen = arr[:fanout]
+            sampled_src_chunks.append(np.asarray(chosen, dtype=np.int64))
+            edge_dst_chunks.append(np.full(len(chosen), i, dtype=np.int64))
+
+        if sampled_src_chunks:
+            sampled_src = np.concatenate(sampled_src_chunks)
+            edge_dst = np.concatenate(edge_dst_chunks)
+        else:
+            sampled_src = np.zeros(0, dtype=np.int64)
+            edge_dst = np.zeros(0, dtype=np.int64)
+        return _finalize_layer(dst, sampled_src, edge_dst, self._pos_scratch)
+
+
+class VectorizedNeighborSampler(NeighborSampler):
+    """Fully vectorized partial Fisher–Yates fan-out sampler (the hot path).
+
+    Nodes are bucketed by degree: take-all nodes (``deg <= fanout`` or
+    ``fanout == -1``) are gathered by CSR slicing with no RNG at all, and all
+    capped nodes share **one** ``rng.random(fanout * num_capped)`` draw (in
+    dst order); the ``fanout`` swap rounds of the truncated shuffle then run
+    vectorized across every capped node at once.  Work per capped node is
+    ``O(deg)`` for the initial gather plus ``O(fanout)`` for the swaps — no
+    per-neighbor sort — and output and RNG-stream consumption are
+    bit-identical to :class:`LoopNeighborSampler` on the same seed.
+    """
+
+    name = "vectorized"
+
+    def _sample_one_layer(self, dst: np.ndarray, fanout: int):
+        indptr, indices = self.graph.indptr, self.graph.indices
+        n = len(dst)
+        starts = indptr[dst]
+        degs = indptr[dst + 1] - starts
+
+        if fanout == -1:
+            cap_mask = np.zeros(n, dtype=bool)
+            counts = degs
+        else:
+            cap_mask = degs > fanout
+            counts = np.where(cap_mask, fanout, degs)
+        total = int(counts.sum())
+        edge_dst = np.repeat(np.arange(n, dtype=np.int64), counts)
+        sampled_src = np.empty(total, dtype=np.int64)
+        out_first = np.cumsum(counts) - counts  # first output slot per dst row
+
+        take_pos = np.nonzero(~cap_mask & (degs > 0))[0]
+        if len(take_pos):
+            tc = degs[take_pos]
+            within = np.arange(int(tc.sum()), dtype=np.int64) - np.repeat(np.cumsum(tc) - tc, tc)
+            flat = np.repeat(starts[take_pos], tc) + within
+            slots = np.repeat(out_first[take_pos], tc) + within
+            sampled_src[slots] = indices[flat]
+
+        cap_pos = np.nonzero(cap_mask)[0]
+        if len(cap_pos):
+            num_capped = len(cap_pos)
+            cc = degs[cap_pos]
+            cap_first = np.cumsum(cc) - cc
+            within = np.arange(int(cc.sum()), dtype=np.int64) - np.repeat(cap_first, cc)
+            flat = np.repeat(starts[cap_pos], cc) + within
+            buf = indices[flat]  # mutable concatenated neighbor lists, dst order
+            # The single batched draw: sequential stream consumption makes this
+            # equal to the loop twin's concatenated per-node rng.random(fanout).
+            u = self.rng.random(fanout * num_capped).reshape(num_capped, fanout)
+            arange_fanout = np.arange(fanout, dtype=np.int64)
+            for r in range(fanout):
+                # Swap round r for every capped node at once.  Each node's
+                # (pi, pj) pair lies inside its own segment, so the fancy
+                # assignments never collide across nodes.
+                j = r + (u[:, r] * (cc - r)).astype(np.int64)
+                pi = cap_first + r
+                pj = cap_first + j
+                tmp = buf[pi].copy()
+                buf[pi] = buf[pj]
+                buf[pj] = tmp
+            sel = np.repeat(cap_first, fanout) + np.tile(arange_fanout, num_capped)
+            slots = np.repeat(out_first[cap_pos], fanout) + np.tile(arange_fanout, num_capped)
+            sampled_src[slots] = buf[sel]
+
+        return _finalize_layer(dst, sampled_src, edge_dst, self._pos_scratch)
+
+
+# --------------------------------------------------------------------------- #
+# Registry: samplers constructible by name from configs / CLI / benchmarks
+# --------------------------------------------------------------------------- #
+SAMPLERS = Registry("neighbor sampler")
+SAMPLERS.register("legacy", NeighborSampler, aliases=("choice",))
+SAMPLERS.register("loop", LoopNeighborSampler, aliases=("reference",))
+SAMPLERS.register("vectorized", VectorizedNeighborSampler, aliases=("fast",))
+
+
+def build_sampler(
+    name: str, graph: CSRGraph, fanouts: Sequence[int], seed: SeedLike = None
+) -> NeighborSampler:
+    """Build a registered neighbor sampler by name (see :data:`SAMPLERS`)."""
+    return SAMPLERS.build(name, graph, fanouts, seed=seed)
 
 
 def sample_for_partition(

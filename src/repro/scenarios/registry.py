@@ -43,6 +43,10 @@ class ClusterScenario:
     prefetch_config: Optional[PrefetchConfig] = None
     epochs: int = 3
     paper_note: str = ""
+    # Hot-path registry keys (see SAMPLERS / RPC_CHANNELS); the defaults keep
+    # every shipped scenario bit-identical to the pre-registry behavior.
+    sampler: str = "legacy"
+    rpc: str = "per-call"
 
     # ------------------------------------------------------------------ #
     def with_overrides(self, **overrides) -> "ClusterScenario":
@@ -74,6 +78,8 @@ class ClusterScenario:
             backend=self.backend,
             seed=seed,
             compute_multipliers=self.compute_multipliers,
+            sampler=self.sampler,
+            rpc=self.rpc,
         )
 
     def cost_model(self) -> CostModel:

@@ -283,6 +283,7 @@ class ClusterEngine:
         trainer_steps = [0] * world
         barrier_waits = [0.0] * world
         total_minibatches = 0
+        global_step = 0  # monotone step id driving RPC coalescing windows
         epoch_records: List[EpochRecord] = []
         previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
 
@@ -300,6 +301,11 @@ class ClusterEngine:
                     and steps_this_epoch >= config.max_steps_per_epoch
                 ):
                     break
+                # Open this step's RPC coalescing window (no-op on per-call
+                # channels); every trainer's fetches below share it.
+                for trainer in trainers:
+                    trainer.rpc.begin_step(global_step)
+                global_step += 1
                 step_grads: List[Dict[str, np.ndarray]] = []
                 participated: List[int] = []
                 for i, trainer in enumerate(trainers):

@@ -339,6 +339,7 @@ class TrainingEngine:
         accumulators = [ComponentAccumulator() for _ in range(world)]
         trainer_steps = [0] * world      # lifetime step counter per trainer (drives Δ and Eq. 4)
         total_minibatches = 0
+        global_step = 0                  # monotone step id driving RPC coalescing windows
         epoch_records: List[EpochRecord] = []
         previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
 
@@ -356,6 +357,11 @@ class TrainingEngine:
                     and steps_this_epoch >= config.max_steps_per_epoch
                 ):
                     break
+                # Open this step's RPC coalescing window (no-op on per-call
+                # channels); every trainer's fetches below share it.
+                for trainer in trainers:
+                    trainer.rpc.begin_step(global_step)
+                global_step += 1
                 step_grads: List[Dict[str, np.ndarray]] = []
                 participated: List[int] = []
                 for i, trainer in enumerate(trainers):
