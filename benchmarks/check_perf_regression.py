@@ -1,0 +1,204 @@
+"""CI perf-regression gate: fresh bench output vs. the committed baseline.
+
+Compares a freshly generated hot-path trajectory (``bench_hotpath.py`` +
+``bench_cache_tiers.py --merge-into``) against the committed
+``BENCH_hotpath.json`` and fails on hot-path slowdowns.  Two classes of
+metric are treated differently:
+
+* **machine-independent** metrics — wire-request reduction, cache hit rates,
+  policy hit-rate gains — are deterministic given the same benchmark config,
+  so they get tight tolerance bands;
+* **machine-dependent** metrics — the vectorized-sampler speedup — vary with
+  the runner's hardware, so they get a wide relative band plus a hard floor
+  (vectorized must never be slower than the loop reference).
+
+Throughput-style numbers (rows/s, ns/node) are reported in the trend artifact
+but never gated: comparing wall-clock across unrelated machines would make
+the gate flaky without catching anything the ratios miss.
+
+The verdict plus every check's numbers land in ``--trend-out`` (uploaded as a
+CI artifact), so the trajectory of each metric is inspectable per run.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py \\
+        --baseline BENCH_hotpath.json --fresh /tmp/fresh.json \\
+        --trend-out /tmp/perf_trend.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+class Check:
+    def __init__(self, name: str, baseline: Optional[float], fresh: Optional[float],
+                 threshold: float, passed: bool, note: str = ""):
+        self.name = name
+        self.baseline = baseline
+        self.fresh = fresh
+        self.threshold = threshold
+        self.passed = passed
+        self.note = note
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "baseline": self.baseline,
+            "fresh": self.fresh,
+            "threshold": self.threshold,
+            "passed": self.passed,
+            "note": self.note,
+        }
+
+
+def _get(tree: dict, path: str):
+    node = tree
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
+               reduction_abs: float, hit_abs: float, min_hit_gain: float) -> List[Check]:
+    checks: List[Check] = []
+
+    # ---- sampler speedup: machine-dependent, wide band + hard floor ----
+    path = "sampler.smoke.speedup_vectorized_over_loop"
+    base, now = _get(baseline, path), _get(fresh, path)
+    if now is not None:
+        floor = 1.0
+        checks.append(Check(
+            "sampler.vectorized_not_slower_than_loop", None, now, floor, now >= floor,
+            "hard floor: the vectorized sampler must never lose to its loop twin",
+        ))
+        if base is not None:
+            threshold = base * speedup_ratio
+            checks.append(Check(
+                "sampler.speedup_vs_baseline", base, now, threshold, now >= threshold,
+                f"wide band ({speedup_ratio:.0%} of baseline): runners differ in "
+                f"hardware, big drops still surface",
+            ))
+
+    # ---- RPC coalescing: deterministic counters, tight band ----
+    path = "rpc.wire_request_reduction_percent"
+    base, now = _get(baseline, path), _get(fresh, path)
+    if base is not None and now is not None:
+        threshold = base - reduction_abs
+        checks.append(Check(
+            "rpc.wire_request_reduction_percent", base, now, threshold, now >= threshold,
+            "counter-derived: identical config must reproduce the reduction",
+        ))
+    per_call = _get(fresh, "rpc.per_channel.per-call.requests")
+    batched = _get(fresh, "rpc.per_channel.batched.requests")
+    if per_call is not None and batched is not None:
+        checks.append(Check(
+            "rpc.batched_strictly_fewer_wire_requests", per_call, batched,
+            per_call, batched < per_call,
+            "hard floor: coalescing must reduce wire requests on hot-halo",
+        ))
+
+    # ---- cache tiers: deterministic hit rates, tight band ----
+    path = "cache_tiers.drift_scenario.best_non_default.hit_gain_over_static"
+    base, now = _get(baseline, path), _get(fresh, path)
+    if now is not None:
+        threshold = max(min_hit_gain, (base - hit_abs) if base is not None else min_hit_gain)
+        checks.append(Check(
+            "cache.drift_hit_gain_over_static", base, now, threshold, now >= threshold,
+            "a non-default tier policy must keep beating static-degree on hot-set-drift",
+        ))
+    base_cfgs = _get(baseline, "cache_tiers.drift_scenario.per_config") or {}
+    fresh_cfgs = _get(fresh, "cache_tiers.drift_scenario.per_config") or {}
+    for name in sorted(set(base_cfgs) & set(fresh_cfgs)):
+        base_hit = base_cfgs[name].get("mean_hit_rate")
+        now_hit = fresh_cfgs[name].get("mean_hit_rate")
+        if base_hit is None or now_hit is None:
+            continue
+        threshold = base_hit - hit_abs
+        checks.append(Check(
+            f"cache.drift.{name}.mean_hit_rate", base_hit, now_hit, threshold,
+            now_hit >= threshold,
+            "deterministic at fixed seed/config; only real behavior changes move it",
+        ))
+    return checks
+
+
+def report_only_metrics(fresh: dict) -> dict:
+    """Machine-dependent throughput numbers carried in the trend, never gated."""
+    return {
+        "sampler.smoke.ns_per_node.vectorized": _get(
+            fresh, "sampler.smoke.per_sampler.vectorized.ns_per_node"
+        ),
+        "fetch.rows_per_s": _get(fresh, "fetch.rows_per_s"),
+        "cache_tiers.churn.mean_hit_rate": _get(
+            fresh, "cache_tiers.churn_scenario.mean_hit_rate"
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_hotpath.json"),
+                        help="committed trajectory file (the regression baseline)")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated trajectory file to validate")
+    parser.add_argument("--trend-out", type=Path, default=Path("perf_trend.json"),
+                        help="where to write the trend/verdict artifact")
+    parser.add_argument("--speedup-tolerance", type=float, default=0.35,
+                        help="fresh sampler speedup must be >= this fraction of the "
+                             "baseline's (wide: runners differ in hardware)")
+    parser.add_argument("--reduction-tolerance", type=float, default=1.0,
+                        help="allowed absolute drop in wire-request reduction percent")
+    parser.add_argument("--hit-tolerance", type=float, default=0.02,
+                        help="allowed absolute drop in cache hit-rate metrics")
+    parser.add_argument("--min-hit-gain", type=float, default=0.01,
+                        help="hard floor for the drift-scenario policy gain")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"FAIL: baseline {args.baseline} does not exist; commit a trajectory "
+              f"(bench_hotpath.py + bench_cache_tiers.py --merge-into)", file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+
+    checks = run_checks(
+        baseline, fresh,
+        speedup_ratio=args.speedup_tolerance,
+        reduction_abs=args.reduction_tolerance,
+        hit_abs=args.hit_tolerance,
+        min_hit_gain=args.min_hit_gain,
+    )
+    failed = [c for c in checks if not c.passed]
+    for check in checks:
+        status = "ok  " if check.passed else "FAIL"
+        base = "-" if check.baseline is None else f"{check.baseline:.4f}"
+        print(f"  [{status}] {check.name}: fresh={check.fresh:.4f} baseline={base} "
+              f"threshold={check.threshold:.4f}")
+
+    trend = {
+        "baseline_file": str(args.baseline),
+        "fresh_file": str(args.fresh),
+        "checks": [c.as_dict() for c in checks],
+        "report_only": report_only_metrics(fresh),
+        "verdict": "pass" if not failed else "fail",
+    }
+    args.trend_out.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
+    print(f"trend written to {args.trend_out}")
+
+    if failed:
+        print(f"FAIL: {len(failed)} perf-regression check(s) failed: "
+              + ", ".join(c.name for c in failed), file=sys.stderr)
+        return 1
+    print(f"all {len(checks)} perf-regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

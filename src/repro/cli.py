@@ -30,6 +30,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro import __version__, viz
+from repro.cache.config import CacheConfig
+from repro.cache.policies import ADMISSION_POLICIES, CACHE_EVICTION_POLICIES
 from repro.core.config import PrefetchConfig
 from repro.core.eviction import EVICTION_POLICIES, build_eviction_policy
 from repro.distributed.cluster import ClusterConfig, SimCluster
@@ -92,6 +94,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="RPC channel registry key (default: per-call). 'batched' coalesces a "
              "step's remote pulls per owning partition machine-wide and merges "
              "duplicate ids (stats report logical vs. wire requests separately)",
+    )
+    run.add_argument(
+        "--cache-tiers", type=int, default=None, choices=[1, 2], dest="cache_tiers",
+        help="tiered feature cache: 1 = per-trainer hot tier, 2 = + machine-shared "
+             "tier (selects the 'tiered-cache' pipeline unless --pipeline is given; "
+             "the trainer row budget still comes from --halo-fraction)",
+    )
+    run.add_argument(
+        "--admission", default=None, choices=ADMISSION_POLICIES.names(),
+        help="hot-tier admission policy (default: static-degree — the pre-tier "
+             "static cache behavior)",
+    )
+    run.add_argument(
+        "--eviction", default=None, choices=CACHE_EVICTION_POLICIES.names(),
+        help="hot-tier eviction policy (default: none; distinct from "
+             "--eviction-policy, which governs the prefetch buffer's Algorithm 2)",
+    )
+    run.add_argument(
+        "--adaptive-cache", action="store_true",
+        help="enable the adaptive capacity controller (re-splits hot/shared tier "
+             "budgets from per-epoch hit rates; needs --cache-tiers 2)",
     )
     run.add_argument(
         "--cluster", action="store_true",
@@ -193,6 +216,57 @@ def _cmd_scenarios() -> int:
     return 0
 
 
+def _build_cache_config(args: argparse.Namespace) -> Optional[CacheConfig]:
+    """CacheConfig from the --cache-* flags; None when none were passed.
+
+    Invalid combinations (e.g. ``--adaptive-cache`` without
+    ``--cache-tiers 2``) exit with the config's own diagnostic rather than
+    being silently ignored.
+    """
+    if (args.cache_tiers is None and args.admission is None
+            and args.eviction is None and not args.adaptive_cache):
+        return None
+    # An explicit --eviction with the closed default admission would be
+    # inert (static-degree admits nothing at runtime, so eviction never
+    # triggers); default admission to "always" in that case so the chosen
+    # policy actually runs.  An explicit --admission always wins.
+    admission = args.admission
+    if admission is None:
+        admission = "always" if args.eviction not in (None, "none") else "static-degree"
+    try:
+        return CacheConfig(
+            tiers=args.cache_tiers if args.cache_tiers is not None else 1,
+            admission=admission,
+            eviction=args.eviction or "none",
+            adaptive=bool(args.adaptive_cache),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def _reject_cacheless_pipeline(pipeline, cache_config) -> bool:
+    """True (after printing an error) when --cache-* flags would be ignored.
+
+    Only the tiered-cache pipeline (and prefetch, via the machine-shared
+    tier) consume a CacheConfig; silently dropping the flags on baseline /
+    static-cache would let users believe they measured a cache they never
+    built.
+    """
+    if cache_config is None or pipeline is None:
+        return False
+    resolved = PIPELINES.resolve(pipeline)
+    if resolved in ("baseline", "static-cache"):
+        print(
+            f"error: --cache-tiers/--admission/--eviction/--adaptive-cache have no "
+            f"effect on the {resolved!r} pipeline; use --pipeline tiered-cache "
+            f"(or prefetch, which consumes the machine-shared tier)",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
 def _cmd_run_cluster(args: argparse.Namespace) -> int:
     """``repro run --cluster --scenario <name>``: scenario-driven cluster run.
 
@@ -245,7 +319,15 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
           f"machines={scenario.num_machines} trainers/machine={scenario.trainers_per_machine} "
           f"partitioning={scenario.partition_method}\n")
 
-    report = workload.run(pipeline=args.pipeline, prefetch_config=prefetch_config)
+    cache_config = _build_cache_config(args)
+    pipeline = args.pipeline
+    if pipeline is None and cache_config is not None:
+        pipeline = "tiered-cache"
+    if _reject_cacheless_pipeline(pipeline, cache_config):
+        return 2
+    report = workload.run(
+        pipeline=pipeline, prefetch_config=prefetch_config, cache_config=cache_config
+    )
     summary = report.summary()
 
     rows = [
@@ -269,6 +351,10 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
         f"total barrier wait {report.total_barrier_wait_s:.4f}s, "
         f"train acc {report.report.final_train_accuracy:.3f}{hit}"
     )
+    tier_rates = report.mean_tier_hit_rates()
+    if tier_rates:
+        per_tier = ", ".join(f"{name} {rate:.3f}" for name, rate in sorted(tier_rates.items()))
+        print(f"cache tiers: {per_tier}, total evictions {report.total_tier_evictions}")
 
     if args.trace_dir is not None:
         import json
@@ -330,10 +416,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.eviction_policy
         else None
     )
+    cache_config = _build_cache_config(args)
+    pipeline = args.pipeline
+    if pipeline is None and cache_config is not None:
+        pipeline = "tiered-cache"
+    if _reject_cacheless_pipeline(pipeline, cache_config):
+        return 2
 
-    if args.pipeline is not None:
+    if pipeline is not None:
         report = engine.run_pipeline(
-            args.pipeline, prefetch_config=prefetch_config, eviction_policy=eviction_policy
+            pipeline,
+            prefetch_config=prefetch_config,
+            eviction_policy=eviction_policy,
+            cache_config=cache_config,
         )
         hit = f", hit rate {report.hit_rate:.3f}" if report.hit_tracker is not None else ""
         print(f"[{report.mode}] simulated time {report.total_simulated_time_s:.4f}s, "

@@ -16,7 +16,7 @@ node is evicted if it went unused for (roughly) a full interval.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.utils.validation import check_fraction, check_positive

@@ -12,7 +12,7 @@ enough, or does the scored approach actually matter?
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Protocol
 
 import numpy as np
 

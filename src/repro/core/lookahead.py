@@ -24,8 +24,8 @@ This module provides that generalization as an analyzable component:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.utils.validation import check_positive
 

@@ -23,11 +23,12 @@ that the training engine converts into simulated time via the cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.cache.tier import CacheTier
 from repro.core.buffer import PrefetchBuffer
 from repro.core.config import PrefetchConfig
 from repro.core.eviction import EvictionPolicy, build_eviction_policy
@@ -78,6 +79,10 @@ class PrefetchStepResult:
     nodes_evicted: int = 0
     nodes_replaced: int = 0
     buffer_capacity: int = 0
+    # Machine-shared cache tier traffic (zero unless the prefetcher's miss
+    # path routes through a shared tier; see Prefetcher(shared_tier=...)).
+    shared_tier_hits: int = 0
+    shared_tier_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -96,10 +101,17 @@ class Prefetcher:
         num_global_nodes: int,
         global_degrees: Optional[np.ndarray] = None,
         eviction_policy: Optional[EvictionPolicy] = None,
+        shared_tier: Optional[CacheTier] = None,
     ):
         self.partition = partition
         self.config = config
         self.rpc = rpc
+        # Optional machine-shared cache tier in front of the RPC channel
+        # (and hence in front of the batched channel's coalescing window):
+        # rows another trainer on the machine already pulled are served from
+        # shared memory instead of the wire.  None (the default) keeps the
+        # miss path — and every golden-pinned counter — bit-identical.
+        self.shared_tier = shared_tier
         self.num_global_nodes = int(num_global_nodes)
         # Fall back to the policy named in the config ("score-threshold" by
         # default — the paper's Algorithm 2).
@@ -240,10 +252,12 @@ class Prefetcher:
 
         # One combined RPC serves both this step's misses and the eviction
         # round's replacement rows (union1d keeps the ids sorted and unique).
+        shared_hits = 0
         fetch_ids = np.union1d(unique_miss, replacement_ids)
         if len(fetch_ids):
-            rows, rpc_time, _ = self._fetch_remote(fetch_ids)
-            remote_fetched = len(fetch_ids)
+            rows, rpc_time, wire_rows = self._fetch_remote(fetch_ids, step)
+            remote_fetched = wire_rows
+            shared_hits = int(len(fetch_ids)) - wire_rows
             if len(miss_rows):
                 features[miss_rows] = rows[np.searchsorted(fetch_ids, miss_ids)]
             if len(replacement_ids):
@@ -270,6 +284,8 @@ class Prefetcher:
             nodes_evicted=int(nodes_evicted),
             nodes_replaced=int(nodes_replaced),
             buffer_capacity=self.buffer.capacity,
+            shared_tier_hits=shared_hits,
+            shared_tier_misses=int(remote_fetched) if self.shared_tier is not None else 0,
         )
 
     # ------------------------------------------------------------------ #
@@ -314,15 +330,33 @@ class Prefetcher:
         current = self.access_scores.get(unique_ids)
         self.access_scores.set(unique_ids, current + counts.astype(np.float64))
 
-    def _fetch_remote(self, global_ids: np.ndarray) -> Tuple[np.ndarray, float, object]:
+    def _fetch_remote(self, global_ids: np.ndarray, step: int) -> Tuple[np.ndarray, float, int]:
         """Pull *global_ids* from their owning partitions over RPC.
 
-        Ownership resolution validates halo membership: a non-halo id would
-        previously map to an arbitrary neighbor's owner (wrong-owner routing);
-        now it raises ``KeyError`` naming the offending ids.
+        Returns ``(rows, simulated_rpc_time, wire_rows)`` where ``wire_rows``
+        is how many rows actually crossed the network — fewer than requested
+        when a machine-shared cache tier serves part of the pull.  Ownership
+        resolution validates halo membership: a non-halo id would previously
+        map to an arbitrary neighbor's owner (wrong-owner routing); now it
+        raises ``KeyError`` naming the offending ids.
         """
-        owners = self.partition.halo_owners_of(global_ids)
-        return self.rpc.remote_pull(global_ids, owners)
+        if self.shared_tier is None:
+            owners = self.partition.halo_owners_of(global_ids)
+            rows, rpc_time, _ = self.rpc.remote_pull(global_ids, owners)
+            return rows, rpc_time, int(len(global_ids))
+
+        rows = np.zeros((len(global_ids), self.buffer.feature_dim), dtype=np.float32)
+        hit_mask, hit_rows = self.shared_tier.lookup(global_ids, step)
+        if len(hit_rows):
+            rows[hit_mask] = hit_rows
+        missing = global_ids[~hit_mask]
+        rpc_time = 0.0
+        if len(missing):
+            owners = self.partition.halo_owners_of(missing)
+            fetched, rpc_time, _ = self.rpc.remote_pull(missing, owners)
+            rows[~hit_mask] = fetched
+            self.shared_tier.admit(missing, fetched, step)
+        return rows, rpc_time, int(len(missing))
 
     def _plan_eviction(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
         """Choose eviction slots and replacement node ids (EVICT_AND_REPLACE)."""

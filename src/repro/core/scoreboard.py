@@ -18,7 +18,7 @@ the prefetcher can switch between them via configuration.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -39,7 +39,7 @@ from repro.graph.partition import PartitionResult, partition_graph
 from repro.graph.partition_book import PartitionBook
 from repro.sampling.dataloader import DistDataLoader
 from repro.sampling.seeds import SeedPartitioner
-from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive
 
 
@@ -69,11 +69,24 @@ class ClusterConfig:
     compute_multipliers: Optional[Sequence[float]] = None
     sampler: str = "legacy"
     rpc: str = "per-call"
+    # Hot-set drift (cache-stress scenarios): each epoch only a rotating
+    # window of ``seed_active_fraction`` of a trainer's seeds is active,
+    # advanced by ``seed_rotation`` of the seed set per epoch.  The defaults
+    # (1.0 / 0.0) are the stationary full-set iteration every pre-existing
+    # workload uses — bit-identical seed batches and RNG stream.
+    seed_active_fraction: float = 1.0
+    seed_rotation: float = 0.0
 
     def __post_init__(self) -> None:
         check_positive(self.num_machines, "num_machines")
         check_positive(self.trainers_per_machine, "trainers_per_machine")
         check_positive(self.batch_size, "batch_size")
+        if not 0.0 < self.seed_active_fraction <= 1.0:
+            raise ValueError(
+                f"seed_active_fraction must be in (0, 1], got {self.seed_active_fraction!r}"
+            )
+        if not 0.0 <= self.seed_rotation <= 1.0:
+            raise ValueError(f"seed_rotation must be in [0, 1], got {self.seed_rotation!r}")
         if self.backend not in ("cpu", "gpu"):
             raise ValueError(f"backend must be 'cpu' or 'gpu', got {self.backend!r}")
         # Resolve registry keys eagerly so typos fail at config time with the
@@ -170,6 +183,10 @@ class SimCluster:
             CoalescingWindow() if config.rpc == "batched" else None
             for _ in range(config.num_machines)
         ]
+        # Machine-shared cache tiers, created lazily per run when a two-tier
+        # CacheConfig is in play (see shared_cache_tier); reset() drops them
+        # so consecutive runs start cold like everything else.
+        self._shared_cache_tiers: Dict[int, object] = {}
         self.trainers: List[TrainerContext] = self._spawn_trainers()
 
     # ------------------------------------------------------------------ #
@@ -197,6 +214,8 @@ class SimCluster:
                     labels=self.dataset.labels,
                     seed=derive_seed(config.seed, 307, global_rank),
                     sampler=config.sampler,
+                    seed_active_fraction=config.seed_active_fraction,
+                    seed_rotation=config.seed_rotation,
                 )
                 rpc = build_rpc_channel(
                     config.rpc,
@@ -234,6 +253,31 @@ class SimCluster:
 
     def partition_of_machine(self, machine: int) -> GraphPartition:
         return self.partitions[machine]
+
+    def shared_cache_tier(self, machine: int, cache_config) -> "CacheTier":
+        """The machine's shared :class:`~repro.cache.tier.CacheTier` (lazily built).
+
+        Every trainer on *machine* composes the same instance behind its hot
+        tier; each trainer funds its own capacity contribution when its
+        source is built, so the tier's capacity is the machine's total.  The
+        tier starts empty at capacity 0 and is dropped by :meth:`reset`.
+        """
+        from repro.cache.tier import CacheTier
+        from repro.features.sources import halo_degree_lookup
+
+        tier = self._shared_cache_tiers.get(machine)
+        if tier is None:
+            partition = self.partitions[machine]
+            tier = CacheTier(
+                "shared",
+                0,
+                self.dataset.feature_dim,
+                admission=cache_config.shared_admission,
+                eviction=cache_config.shared_eviction,
+                degree_of=halo_degree_lookup(partition),
+            )
+            self._shared_cache_tiers[machine] = tier
+        return tier
 
     def cost_model_for_machine(self, machine: int) -> CostModel:
         """Per-machine cost model honoring the config's compute multipliers.
@@ -281,6 +325,7 @@ class SimCluster:
         for window in self._rpc_windows:
             if window is not None:
                 window.deactivate()
+        self._shared_cache_tiers.clear()
 
     def average_remote_nodes_per_trainer(self) -> float:
         """Table III's 'average number of remote nodes per trainer' statistic.

@@ -13,7 +13,7 @@ Fig. 11 RPC-reduction analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np

@@ -28,7 +28,7 @@ it); ``as_extended_dict`` adds the logical counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np

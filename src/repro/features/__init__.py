@@ -16,6 +16,7 @@ from repro.features.sources import (
     RemoteRPCSource,
     SourceContext,
     StaticDegreeCacheSource,
+    TieredCacheSource,
     build_feature_source,
 )
 from repro.features.store import FeatureStore
@@ -30,6 +31,7 @@ __all__ = [
     "RemoteRPCSource",
     "SourceContext",
     "StaticDegreeCacheSource",
+    "TieredCacheSource",
     "build_feature_source",
     "FeatureStore",
 ]

@@ -35,6 +35,11 @@ class FetchStats:
     nodes_evicted: int = 0
     nodes_replaced: int = 0
     buffer_capacity: int = 0
+    # Per-tier counters of the tiered cache stack, keyed "{tier}.{counter}"
+    # (e.g. "hot.hits", "shared.evictions").  Empty for cache-less sources so
+    # the historical flat schema — which the golden fixtures pin — is
+    # untouched unless tiers are actually in play.
+    tier_counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -43,6 +48,9 @@ class FetchStats:
 
     def merge(self, other: "FetchStats") -> "FetchStats":
         """Combine two fetch outcomes (per-source stats -> per-minibatch stats)."""
+        merged_tiers = dict(self.tier_counters)
+        for key, value in other.tier_counters.items():
+            merged_tiers[key] = merged_tiers.get(key, 0.0) + value
         return FetchStats(
             source=self.source if self.source == other.source else "merged",
             num_requested=self.num_requested + other.num_requested,
@@ -58,11 +66,14 @@ class FetchStats:
             nodes_evicted=self.nodes_evicted + other.nodes_evicted,
             nodes_replaced=self.nodes_replaced + other.nodes_replaced,
             buffer_capacity=max(self.buffer_capacity, other.buffer_capacity),
+            tier_counters=merged_tiers,
         )
 
     def as_dict(self) -> Dict[str, float]:
         out = dict(self.__dict__)
         out["hit_rate"] = self.hit_rate
+        if not self.tier_counters:
+            out.pop("tier_counters")
         return out
 
 

@@ -120,6 +120,18 @@ class FeatureStore:
         features[halo_rows] = rows
         return features, local_stats.merge(halo_stats)
 
+    def end_epoch(self) -> None:
+        """Epoch boundary: forward to sources that adapt between epochs.
+
+        The tiered cache's adaptive capacity controller re-splits tier
+        budgets here; sources without an ``end_epoch`` hook are skipped, so
+        the call is free for the classic data paths.
+        """
+        for source in self.sources.values():
+            hook = getattr(source, "end_epoch", None)
+            if hook is not None:
+                hook()
+
     # ------------------------------------------------------------------ #
     # Telemetry pass-throughs (engine and benchmarks read these).
     # ------------------------------------------------------------------ #
@@ -150,6 +162,23 @@ class FeatureStore:
                 out[f"{role}.{key}"] = float(value)
         return out
 
+    def cache_summary(self) -> Dict[str, float]:
+        """Per-tier cache counters of the composed sources (empty when tier-less).
+
+        Keys are ``{role}.tier.{tier}.{counter}``; the cluster engine threads
+        them into :class:`~repro.training.cluster_engine.TrainerRunStats` so
+        tier hit rates and eviction churn surface in cluster reports without
+        touching the tier-less report schema the golden fixtures pin.
+        """
+        out: Dict[str, float] = {}
+        for role, source in self.sources.items():
+            tier_summary = getattr(source, "tier_summary", None)
+            if tier_summary is None:
+                continue
+            for key, value in tier_summary().items():
+                out[f"{role}.{key}"] = float(value)
+        return out
+
 
 # Summary keys that describe a level (rate/capacity/resident bytes) rather
 # than a count; cluster aggregation averages these instead of summing.
@@ -169,6 +198,11 @@ def merge_store_summaries(summaries: Iterable[Dict[str, float]]) -> Dict[str, fl
     Counter-like keys (calls, rows served, remote nodes fetched) are summed;
     level-like keys (hit rates, capacities, resident bytes) are averaged, so
     the result reads as "the cluster's totals plus the mean per-trainer state".
+    Machine-**shared** cache-tier keys (``*.tier.shared.*``) are averaged
+    wholesale: the tier is one object reported identically by every trainer
+    on its machine, so summing would multiply its cumulative counters by
+    ``trainers_per_machine`` — the mean instead reads as "the per-machine
+    shared-tier state".
     """
     totals: Dict[str, float] = {}
     counts: Dict[str, int] = {}
@@ -178,7 +212,7 @@ def merge_store_summaries(summaries: Iterable[Dict[str, float]]) -> Dict[str, fl
             counts[key] = counts.get(key, 0) + 1
     merged: Dict[str, float] = {}
     for key, value in totals.items():
-        if key.rsplit(".", 1)[-1] in _LEVEL_KEYS:
+        if key.rsplit(".", 1)[-1] in _LEVEL_KEYS or ".tier.shared." in key:
             merged[key] = value / counts[key]
         else:
             merged[key] = value

@@ -19,7 +19,7 @@ papers         111M         1.6B         128           32,768
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

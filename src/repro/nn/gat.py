@@ -15,7 +15,7 @@ scores, and the shared projection, accumulating gradients for DDP averaging.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

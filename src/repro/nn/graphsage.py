@@ -14,7 +14,7 @@ can average them (synchronous DDP) before the optimizer step.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

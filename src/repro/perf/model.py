@@ -143,7 +143,8 @@ def components_from_breakdown(breakdown: Dict[str, float], num_steps: int) -> St
     """Average per-step components from a simulated-clock breakdown ledger."""
     if num_steps <= 0:
         raise ValueError("num_steps must be positive")
-    get = lambda key: breakdown.get(key, 0.0) / num_steps
+    def get(key: str) -> float:
+        return breakdown.get(key, 0.0) / num_steps
     return StepComponents(
         t_sampling=get("sampling"),
         t_rpc=get("rpc"),

@@ -19,7 +19,7 @@ the sweep benchmarks compare against measured hit rates/times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.core.config import PrefetchConfig
 

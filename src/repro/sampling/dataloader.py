@@ -17,7 +17,7 @@ from repro.graph.halo import GraphPartition
 from repro.sampling.block import MiniBatch
 from repro.sampling.neighbor_sampler import NeighborSampler, build_sampler
 from repro.sampling.seeds import SeedIterator
-from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+from repro.utils.rng import SeedLike, derive_seed
 
 
 class DistDataLoader:
@@ -53,6 +53,8 @@ class DistDataLoader:
         seed: SeedLike = None,
         drop_last: bool = False,
         sampler: str = "legacy",
+        seed_active_fraction: float = 1.0,
+        seed_rotation: float = 0.0,
     ):
         self.partition = partition
         self.labels = labels
@@ -65,6 +67,8 @@ class DistDataLoader:
             batch_size,
             seed=derive_seed(seed, partition.part_id, 13),
             drop_last=drop_last,
+            active_fraction=seed_active_fraction,
+            rotation=seed_rotation,
         )
         self._step = 0
 
@@ -94,8 +98,9 @@ class DistDataLoader:
             yield self.sample(seeds)
 
     def reset(self) -> None:
-        """Reset the global step counter (used between independent runs)."""
+        """Reset the step and drift-epoch counters (between independent runs)."""
         self._step = 0
+        self.seed_iterator.reset()
 
     @property
     def steps_taken(self) -> int:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from repro.cache.config import CacheConfig
 from repro.core.config import PrefetchConfig
 from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
@@ -47,6 +48,14 @@ class ClusterScenario:
     # every shipped scenario bit-identical to the pre-registry behavior.
     sampler: str = "legacy"
     rpc: str = "per-call"
+    # Tiered feature cache (repro.cache): None runs the tier-less data path;
+    # a CacheConfig parameterizes the "tiered-cache" pipeline (or threads a
+    # machine-shared tier behind the prefetch buffer when tiers >= 2).
+    cache_config: Optional[CacheConfig] = None
+    # Hot-set drift: per-epoch active seed window (fraction, rotation); the
+    # defaults iterate the full seed set exactly like the pre-drift loader.
+    seed_active_fraction: float = 1.0
+    seed_rotation: float = 0.0
 
     # ------------------------------------------------------------------ #
     def with_overrides(self, **overrides) -> "ClusterScenario":
@@ -80,6 +89,8 @@ class ClusterScenario:
             compute_multipliers=self.compute_multipliers,
             sampler=self.sampler,
             rpc=self.rpc,
+            seed_active_fraction=self.seed_active_fraction,
+            seed_rotation=self.seed_rotation,
         )
 
     def cost_model(self) -> CostModel:
@@ -118,14 +129,19 @@ class ClusterWorkload:
         pipeline: Optional[str] = None,
         prefetch_config: Optional[PrefetchConfig] = None,
         eviction_policy=None,
+        cache_config: Optional[CacheConfig] = None,
     ) -> ClusterReport:
         """Execute the scenario's pipeline; explicit arguments override the recipe."""
         name = pipeline or self.scenario.pipeline
         prefetch = prefetch_config or self.scenario.prefetch_config
         if name != "baseline" and prefetch is None:
             prefetch = PrefetchConfig()
+        cache = cache_config or self.scenario.cache_config
         return self.engine.run(
-            name, prefetch_config=prefetch, eviction_policy=eviction_policy
+            name,
+            prefetch_config=prefetch,
+            eviction_policy=eviction_policy,
+            cache_config=cache,
         )
 
 

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.cache.config import CacheConfig
 from repro.core.config import PrefetchConfig
 from repro.core.eviction import EvictionPolicy
 from repro.distributed.cluster import SimCluster
@@ -74,6 +75,10 @@ class TrainerRunStats:
     rpc_stats: Dict[str, float] = field(default_factory=dict)
     components: Dict[str, float] = field(default_factory=dict)
     store_summary: Dict[str, float] = field(default_factory=dict)
+    # Per-tier cache counters ("{role}.tier.{tier}.{counter}"); empty for
+    # tier-less runs, and then omitted from as_dict so the golden fixture
+    # schema is untouched unless cache tiers are actually in play.
+    cache_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def busy_time_s(self) -> float:
@@ -81,7 +86,7 @@ class TrainerRunStats:
         return self.simulated_time_s - self.barrier_wait_s
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "global_rank": self.global_rank,
             "machine": self.machine,
             "local_rank": self.local_rank,
@@ -95,6 +100,9 @@ class TrainerRunStats:
             "components": dict(self.components),
             "store_summary": dict(self.store_summary),
         }
+        if self.cache_stats:
+            out["cache_stats"] = dict(self.cache_stats)
+        return out
 
 
 @dataclass
@@ -139,6 +147,42 @@ class ClusterReport:
         rates = [t.hit_rate for t in self.trainer_stats if t.hit_rate is not None]
         return float(np.mean(rates)) if rates else None
 
+    def mean_tier_hit_rates(self) -> Dict[str, float]:
+        """Mean per-tier hit rate across trainers that report the tier.
+
+        Keys are the ``{role}.tier.{tier}`` prefixes of the trainers'
+        ``cache_stats``; empty for tier-less runs.
+        """
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for t in self.trainer_stats:
+            for key, value in t.cache_stats.items():
+                if key.endswith(".hit_rate"):
+                    prefix = key[: -len(".hit_rate")]
+                    sums[prefix] = sums.get(prefix, 0.0) + float(value)
+                    counts[prefix] = counts.get(prefix, 0) + 1
+        return {k: sums[k] / counts[k] for k in sums}
+
+    @property
+    def total_tier_evictions(self) -> int:
+        """Cluster-wide tier evictions.
+
+        Per-trainer tiers sum across trainers; the machine-shared tier is one
+        object reported identically by every trainer on the machine, so its
+        cumulative counter is counted once per machine, not once per trainer.
+        """
+        total = 0.0
+        shared: Dict[tuple, float] = {}
+        for t in self.trainer_stats:
+            for key, value in t.cache_stats.items():
+                if not key.endswith(".evictions"):
+                    continue
+                if ".tier.shared." in key:
+                    shared[(t.machine, key)] = float(value)
+                else:
+                    total += float(value)
+        return int(total + sum(shared.values()))
+
     @property
     def total_rpc_bytes(self) -> int:
         return int(sum(t.rpc_stats.get("bytes_fetched", 0.0) for t in self.trainer_stats))
@@ -177,6 +221,11 @@ class ClusterReport:
         }
         if self.mean_hit_rate is not None:
             out["mean_hit_rate"] = self.mean_hit_rate
+        tier_rates = self.mean_tier_hit_rates()
+        if tier_rates:
+            for prefix, rate in sorted(tier_rates.items()):
+                out[f"cache.{prefix}.hit_rate"] = rate
+            out["cache.total_tier_evictions"] = float(self.total_tier_evictions)
         return out
 
     def as_dict(self) -> Dict[str, object]:
@@ -225,12 +274,16 @@ class ClusterEngine:
         pipeline: Union[str, PipelineBuilder] = "baseline",
         prefetch_config: Optional[PrefetchConfig] = None,
         eviction_policy: Optional[EvictionPolicy] = None,
+        cache_config: Optional[CacheConfig] = None,
     ) -> ClusterReport:
         """Train the cluster with one *pipeline* instance per trainer.
 
         Same contract as :meth:`TrainingEngine.run_pipeline`, but returns a
         :class:`ClusterReport` whose embedded :class:`TrainingReport` is
         bit-identical to the single-run engine's on a homogeneous cluster.
+        ``cache_config`` parameterizes the tiered cache sources and is only
+        forwarded when set, so custom builders with the historical signature
+        keep working.
         """
         if isinstance(pipeline, str):
             name: Optional[str] = PIPELINES.resolve(pipeline)
@@ -263,14 +316,14 @@ class ClusterEngine:
         # shared model, which is what keeps the differential tests exact.
         cost_models = [cluster.cost_model_for_machine(t.machine) for t in trainers]
 
+        builder_kwargs = {
+            "prefetch_config": prefetch_config,
+            "eviction_policy": eviction_policy,
+        }
+        if cache_config is not None:
+            builder_kwargs["cache_config"] = cache_config
         pipelines: List[MiniBatchPipeline] = [
-            builder(
-                trainer,
-                cluster,
-                prefetch_config=prefetch_config,
-                eviction_policy=eviction_policy,
-            )
-            for trainer in trainers
+            builder(trainer, cluster, **builder_kwargs) for trainer in trainers
         ]
         mode = name or (pipelines[0].name if pipelines else "pipeline")
         init_reports: List[Dict[str, float]] = []
@@ -352,6 +405,9 @@ class ClusterEngine:
                 )
             )
             previous_epoch_end = epoch_end
+            for pl in pipelines:
+                if pl.feature_store is not None:
+                    pl.feature_store.end_epoch()
 
         report = assemble_training_report(
             mode=mode,
@@ -427,6 +483,12 @@ class ClusterEngine:
                     components=trainer.clock.breakdown(),
                     store_summary=(
                         pl.feature_store.summary() if pl.feature_store is not None else {}
+                    ),
+                    cache_stats=(
+                        pl.feature_store.cache_summary()
+                        if pl.feature_store is not None
+                        and hasattr(pl.feature_store, "cache_summary")
+                        else {}
                     ),
                 )
             )

@@ -28,7 +28,7 @@ the integration tests via :func:`repro.distributed.ddp.check_replicas_consistent
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +51,9 @@ from repro.training.telemetry import (
     merge_trainer_hit_trackers,
 )
 from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.cache.config import CacheConfig
 
 PipelineBuilder = Callable[..., MiniBatchPipeline]
 
@@ -266,6 +269,7 @@ class TrainingEngine:
         pipeline: Union[str, PipelineBuilder] = "baseline",
         prefetch_config: Optional[PrefetchConfig] = None,
         eviction_policy: Optional[EvictionPolicy] = None,
+        cache_config: Optional["CacheConfig"] = None,
     ) -> TrainingReport:
         """Train with a named (or custom-built) minibatch pipeline.
 
@@ -273,6 +277,9 @@ class TrainingEngine:
         :data:`repro.training.pipelines.PIPELINES` or a builder callable with
         the same ``(trainer, cluster, prefetch_config=..., eviction_policy=...)``
         signature returning one :class:`MiniBatchPipeline` per trainer.
+        ``cache_config`` parameterizes the tiered cache sources and is only
+        forwarded when set, so custom builders with the historical signature
+        keep working.
         """
         if isinstance(pipeline, str):
             name: Optional[str] = PIPELINES.resolve(pipeline)
@@ -285,6 +292,7 @@ class TrainingEngine:
             pipeline_name=name,
             prefetch_config=prefetch_config,
             eviction_policy=eviction_policy,
+            cache_config=cache_config,
         )
 
     # ------------------------------------------------------------------ #
@@ -296,6 +304,7 @@ class TrainingEngine:
         pipeline_name: Optional[str],
         prefetch_config: Optional[PrefetchConfig],
         eviction_policy: Optional[EvictionPolicy] = None,
+        cache_config: Optional["CacheConfig"] = None,
     ) -> TrainingReport:
         wall_start = time.perf_counter()
         cluster, config = self.cluster, self.config
@@ -319,15 +328,16 @@ class TrainingEngine:
 
         # Build one pipeline per trainer; sources that prefetch at init (the
         # one-time RPC of Algorithm 1) charge that cost to the trainer clock
-        # before the first minibatch.
+        # before the first minibatch.  cache_config is only forwarded when
+        # set so custom builders with the historical signature keep working.
+        builder_kwargs = {
+            "prefetch_config": prefetch_config,
+            "eviction_policy": eviction_policy,
+        }
+        if cache_config is not None:
+            builder_kwargs["cache_config"] = cache_config
         pipelines: List[MiniBatchPipeline] = [
-            builder(
-                trainer,
-                cluster,
-                prefetch_config=prefetch_config,
-                eviction_policy=eviction_policy,
-            )
-            for trainer in trainers
+            builder(trainer, cluster, **builder_kwargs) for trainer in trainers
         ]
         mode = pipeline_name or (pipelines[0].name if pipelines else "pipeline")
         init_reports: List[Dict[str, float]] = []
@@ -411,6 +421,9 @@ class TrainingEngine:
                 )
             )
             previous_epoch_end = epoch_end
+            for pl in pipelines:
+                if pl.feature_store is not None:
+                    pl.feature_store.end_epoch()
 
         report = assemble_training_report(
             mode=mode,

@@ -9,7 +9,12 @@ it is given; *this* module decides what the named pipelines are made of:
   prefetch buffer (Algorithms 1–2), with minibatch preparation overlapping
   DDP training (Eqs. 3–5);
 * ``static-cache`` — ablation: a degree-ranked cache populated once, same
-  overlap accounting as ``prefetch`` but no scoreboards or eviction.
+  overlap accounting as ``prefetch`` but no scoreboards or eviction;
+* ``tiered-cache`` — the policy-pluggable tier stack (``repro.cache``): a
+  per-trainer hot tier plus an optional machine-shared tier in front of RPC,
+  with admission/eviction selected by a
+  :class:`~repro.cache.config.CacheConfig` (defaults reproduce
+  ``static-cache`` bit-for-bit).
 
 Each builder assembles, per trainer, a
 :class:`~repro.features.store.FeatureStore` (sources resolved by name through
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.cache.config import CacheConfig
 from repro.core.config import PrefetchConfig
 from repro.core.eviction import EvictionPolicy
 from repro.features.sources import SourceContext, build_feature_source
@@ -135,7 +141,13 @@ def _source_context(
     cluster: "SimCluster",
     prefetch_config: Optional[PrefetchConfig],
     eviction_policy: Optional[EvictionPolicy],
+    cache_config: Optional[CacheConfig] = None,
 ) -> SourceContext:
+    shared_tier = None
+    if cache_config is not None and cache_config.tiers >= 2:
+        # One shared tier per machine, owned by the cluster so every trainer
+        # on the machine composes the same instance behind its hot tier.
+        shared_tier = cluster.shared_cache_tier(trainer.machine, cache_config)
     return SourceContext(
         rpc=trainer.rpc,
         partition=trainer.partition,
@@ -144,6 +156,8 @@ def _source_context(
         prefetch_config=prefetch_config,
         eviction_policy=eviction_policy,
         seed=cluster.config.seed,
+        cache_config=cache_config,
+        shared_tier=shared_tier,
     )
 
 
@@ -153,6 +167,7 @@ def build_baseline_pipeline(
     cluster: "SimCluster",
     prefetch_config: Optional[PrefetchConfig] = None,
     eviction_policy: Optional[EvictionPolicy] = None,
+    cache_config: Optional[CacheConfig] = None,
 ) -> MiniBatchPipeline:
     ctx = _source_context(trainer, cluster, prefetch_config, eviction_policy)
     store = FeatureStore(
@@ -169,10 +184,11 @@ def build_prefetch_pipeline(
     cluster: "SimCluster",
     prefetch_config: Optional[PrefetchConfig] = None,
     eviction_policy: Optional[EvictionPolicy] = None,
+    cache_config: Optional[CacheConfig] = None,
 ) -> MiniBatchPipeline:
     if prefetch_config is None:
         raise ValueError("the 'prefetch' pipeline requires a PrefetchConfig")
-    ctx = _source_context(trainer, cluster, prefetch_config, eviction_policy)
+    ctx = _source_context(trainer, cluster, prefetch_config, eviction_policy, cache_config)
     store = FeatureStore(
         partition=trainer.partition,
         local_source=build_feature_source("local-kvstore", ctx),
@@ -187,6 +203,7 @@ def build_static_cache_pipeline(
     cluster: "SimCluster",
     prefetch_config: Optional[PrefetchConfig] = None,
     eviction_policy: Optional[EvictionPolicy] = None,
+    cache_config: Optional[CacheConfig] = None,
 ) -> MiniBatchPipeline:
     if prefetch_config is None:
         raise ValueError("the 'static-cache' pipeline requires a PrefetchConfig "
@@ -200,12 +217,40 @@ def build_static_cache_pipeline(
     return _assemble(trainer, store, "overlapped", "static-cache")
 
 
+@PIPELINES.register("tiered-cache", aliases=("tiered",))
+def build_tiered_cache_pipeline(
+    trainer: "TrainerContext",
+    cluster: "SimCluster",
+    prefetch_config: Optional[PrefetchConfig] = None,
+    eviction_policy: Optional[EvictionPolicy] = None,
+    cache_config: Optional[CacheConfig] = None,
+) -> MiniBatchPipeline:
+    """Halo features through the tiered cache stack (see ``repro.cache``).
+
+    ``prefetch_config.halo_fraction`` still sets the trainer's row budget (so
+    tiered runs are memory-comparable with ``prefetch``/``static-cache``);
+    the :class:`CacheConfig` decides how that budget is split across tiers
+    and which admission/eviction policies govern them.
+    """
+    if prefetch_config is None:
+        raise ValueError("the 'tiered-cache' pipeline requires a PrefetchConfig "
+                         "(its halo_fraction sets the cache budget)")
+    ctx = _source_context(trainer, cluster, prefetch_config, eviction_policy, cache_config)
+    store = FeatureStore(
+        partition=trainer.partition,
+        local_source=build_feature_source("local-kvstore", ctx),
+        halo_source=build_feature_source("tiered-cache", ctx),
+    )
+    return _assemble(trainer, store, "overlapped", "tiered-cache")
+
+
 def build_pipeline(
     name: str,
     trainer: "TrainerContext",
     cluster: "SimCluster",
     prefetch_config: Optional[PrefetchConfig] = None,
     eviction_policy: Optional[EvictionPolicy] = None,
+    cache_config: Optional[CacheConfig] = None,
 ) -> MiniBatchPipeline:
     """Build the named pipeline for one trainer (see :data:`PIPELINES`)."""
     return PIPELINES.build(
@@ -214,4 +259,5 @@ def build_pipeline(
         cluster,
         prefetch_config=prefetch_config,
         eviction_policy=eviction_policy,
+        cache_config=cache_config,
     )

@@ -200,10 +200,13 @@ class TestHeterogeneousCluster:
 class TestScenarioRegistry:
     def test_registered_names(self):
         assert available_scenarios() == [
-            "hot-halo", "skewed-partitions", "straggler-machine", "uniform"
+            "cache-churn", "hot-halo", "hot-set-drift",
+            "skewed-partitions", "straggler-machine", "uniform",
         ]
         assert "nominal" in SCENARIOS       # alias
         assert "straggler" in SCENARIOS     # alias
+        assert "drift" in SCENARIOS         # alias
+        assert "churn" in SCENARIOS         # alias
 
     def test_unknown_scenario_lists_valid_names(self):
         with pytest.raises(ValueError, match="unknown scenario"):

@@ -1,6 +1,5 @@
 """Tests for the simulated cost model and clocks."""
 
-import numpy as np
 import pytest
 
 from repro.distributed.clock import SimClock, mean_breakdown, merge_breakdowns, synchronize

@@ -78,18 +78,54 @@ def test_golden_2x2_cluster_numbers():
     _assert_matches(actual, expected)
 
 
-def regenerate() -> None:
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+def regenerate(out_path: Path = GOLDEN_PATH) -> None:
+    """Write the fixture to *out_path* (default: the committed location).
+
+    The CI golden-drift job regenerates into a temp file and diffs it against
+    the committed fixture, so an uncommitted behavior change in any pinned
+    layer fails the build instead of landing silently.
+    """
+    out_path.parent.mkdir(parents=True, exist_ok=True)
     report = golden_cluster_run()
-    GOLDEN_PATH.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
-    print(f"wrote {GOLDEN_PATH}")
+    out_path.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
     print(f"  losses: {[round(r.loss, 6) for r in report.report.epoch_records]}")
     print(f"  critical path: {report.critical_path_time_s:.6f}s")
 
 
+def compare() -> int:
+    """Regenerate in memory and compare against the committed fixture.
+
+    Uses the same rel=1e-9 tolerance as the test (bit-exactness across numpy
+    versions is not guaranteed for reductions), so the CI golden-drift job
+    fails on behavior changes without turning red on a numpy upgrade's
+    last-ulp summation differences.  Returns a process exit code.
+    """
+    if not GOLDEN_PATH.exists():
+        print(f"missing golden fixture {GOLDEN_PATH}", file=sys.stderr)
+        return 1
+    expected = json.loads(GOLDEN_PATH.read_text())
+    actual = json.loads(json.dumps(golden_cluster_run().as_dict()))
+    try:
+        _assert_matches(actual, expected)
+    except AssertionError as exc:
+        print(f"golden fixture drift detected: {exc}", file=sys.stderr)
+        print("if the change is intended, regenerate with "
+              "PYTHONPATH=src python tests/test_golden_cluster.py --regenerate "
+              "and commit the fixture with it", file=sys.stderr)
+        return 1
+    print(f"regenerated run matches {GOLDEN_PATH} (rel tol {REL_TOL})")
+    return 0
+
+
 if __name__ == "__main__":
-    if "--regenerate" in sys.argv:
-        regenerate()
+    if "--compare" in sys.argv:
+        sys.exit(compare())
+    elif "--regenerate" in sys.argv:
+        out = GOLDEN_PATH
+        if "--out" in sys.argv:
+            out = Path(sys.argv[sys.argv.index("--out") + 1])
+        regenerate(out)
     else:
         print(__doc__)
         sys.exit(2)

@@ -1,6 +1,5 @@
 """Tests for the look-ahead minibatch queue and its timing model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

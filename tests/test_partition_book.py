@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.partition import PartitionResult, metis_partition
+from repro.graph.partition import metis_partition
 from repro.graph.partition_book import PartitionBook
 
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.graph.csr import CSRGraph
 from repro.graph.halo import build_partitions
-from repro.graph.partition import PartitionResult, balance, edge_cut, metis_partition, random_partition
+from repro.graph.partition import balance, edge_cut, metis_partition, random_partition
 from repro.graph.partition_book import PartitionBook
 
 

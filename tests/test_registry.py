@@ -1,6 +1,5 @@
 """Tests for the string-keyed registries (eviction policies, sources, pipelines)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import PrefetchConfig
@@ -121,7 +120,7 @@ class TestFeatureSourceRegistry:
 
     def test_round_trip_every_registered_source(self, ctx):
         assert set(FEATURE_SOURCES.names()) == {
-            "local-kvstore", "remote-rpc", "buffered", "static-cache",
+            "local-kvstore", "remote-rpc", "buffered", "static-cache", "tiered-cache",
         }
         for name in FEATURE_SOURCES.names():
             source = build_feature_source(name, ctx)
@@ -144,7 +143,9 @@ class TestFeatureSourceRegistry:
 
 class TestPipelineRegistry:
     def test_round_trip_every_registered_pipeline(self, small_cluster):
-        assert set(PIPELINES.names()) == {"baseline", "prefetch", "static-cache"}
+        assert set(PIPELINES.names()) == {
+            "baseline", "prefetch", "static-cache", "tiered-cache",
+        }
         trainer = small_cluster.trainers[0]
         config = PrefetchConfig(halo_fraction=0.25, delta=8)
         for name in PIPELINES.names():

@@ -15,8 +15,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import PrefetchConfig
-from repro.distributed.cluster import ClusterConfig, SimCluster
-from repro.distributed.cost_model import CostModel
+from repro.distributed.cluster import ClusterConfig
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
 from repro.training.baseline import train_baseline
