@@ -1,13 +1,14 @@
 """CI perf-regression gate: fresh bench output vs. the committed baseline.
 
 Compares a freshly generated hot-path trajectory (``bench_hotpath.py`` +
-``bench_cache_tiers.py --merge-into``) against the committed
-``BENCH_hotpath.json`` and fails on hot-path slowdowns.  Two classes of
-metric are treated differently:
+``bench_cache_tiers.py``/``bench_async_sync.py --merge-into``) against the
+committed ``BENCH_hotpath.json`` and fails on hot-path slowdowns.  Two
+classes of metric are treated differently:
 
 * **machine-independent** metrics — wire-request reduction, cache hit rates,
-  policy hit-rate gains — are deterministic given the same benchmark config,
-  so they get tight tolerance bands;
+  policy hit-rate gains, simulated critical-path reductions — are
+  deterministic given the same benchmark config, so they get tight tolerance
+  bands;
 * **machine-dependent** metrics — the vectorized-sampler speedup — vary with
   the runner's hardware, so they get a wide relative band plus a hard floor
   (vectorized must never be slower than the loop reference).
@@ -66,7 +67,8 @@ def _get(tree: dict, path: str):
 
 
 def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
-               reduction_abs: float, hit_abs: float, min_hit_gain: float) -> List[Check]:
+               reduction_abs: float, hit_abs: float, min_hit_gain: float,
+               min_async_reduction: float = 0.5) -> List[Check]:
     checks: List[Check] = []
 
     # ---- sampler speedup: machine-dependent, wide band + hard floor ----
@@ -126,6 +128,32 @@ def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
             now_hit >= threshold,
             "deterministic at fixed seed/config; only real behavior changes move it",
         ))
+
+    # ---- async sync policies: simulated times, deterministic, tight band ----
+    matches = _get(fresh, "async_sync.straggler.async_barrier_matches_lockstep")
+    if matches is not None:
+        checks.append(Check(
+            "async.barrier_bit_matches_lockstep", None,
+            1.0 if matches else 0.0, 1.0, bool(matches),
+            "hard invariant: the event backend's barrier mode must reproduce the "
+            "lockstep critical path",
+        ))
+    path = "async_sync.straggler.best_bounded_staleness.reduction_percent"
+    base, now = _get(baseline, path), _get(fresh, path)
+    if now is not None:
+        checks.append(Check(
+            "async.bounded_staleness_reduces_critical_path", None, now,
+            min_async_reduction, now >= min_async_reduction,
+            "hard floor: bounded staleness must strictly beat the lockstep "
+            "critical path on the straggler scenario",
+        ))
+        if base is not None:
+            threshold = base - reduction_abs
+            checks.append(Check(
+                "async.staleness_reduction_vs_baseline", base, now, threshold,
+                now >= threshold,
+                "simulated-time ratio: identical config must reproduce the reduction",
+            ))
     return checks
 
 
@@ -138,6 +166,9 @@ def report_only_metrics(fresh: dict) -> dict:
         "fetch.rows_per_s": _get(fresh, "fetch.rows_per_s"),
         "cache_tiers.churn.mean_hit_rate": _get(
             fresh, "cache_tiers.churn_scenario.mean_hit_rate"
+        ),
+        "async_sync.straggler.staleness_curve": _get(
+            fresh, "async_sync.straggler.staleness_curve"
         ),
     }
 
@@ -159,6 +190,9 @@ def main(argv=None) -> int:
                         help="allowed absolute drop in cache hit-rate metrics")
     parser.add_argument("--min-hit-gain", type=float, default=0.01,
                         help="hard floor for the drift-scenario policy gain")
+    parser.add_argument("--min-async-reduction", type=float, default=0.5,
+                        help="hard floor (percent) for bounded-staleness "
+                             "critical-path reduction on the straggler scenario")
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -174,6 +208,7 @@ def main(argv=None) -> int:
         reduction_abs=args.reduction_tolerance,
         hit_abs=args.hit_tolerance,
         min_hit_gain=args.min_hit_gain,
+        min_async_reduction=args.min_async_reduction,
     )
     failed = [c for c in checks if not c.passed]
     for check in checks:

@@ -10,11 +10,15 @@ Massively Connected Distributed Graphs* (CLUSTER 2024) in pure Python/NumPy:
 * :mod:`repro.sampling` — fan-out neighbor sampling and distributed data loading;
 * :mod:`repro.distributed` — the DistDGL-like substrate (KVStore, RPC with a
   cost model, simulated cluster, DDP allreduce);
+* :mod:`repro.events` — the discrete-event backend: deterministic event
+  loop, gradient-sync policy registry, seeded failure/congestion schedules;
 * :mod:`repro.nn` — NumPy GraphSAGE and GAT with manual backprop;
 * :mod:`repro.training` — baseline and prefetch-enabled training pipelines,
-  the cluster execution engine, sweeps, memory profiling;
+  the cluster execution engines (lockstep and event-driven, selected from
+  :data:`~repro.training.engines.ENGINES`), sweeps, memory profiling;
 * :mod:`repro.scenarios` — named cluster workloads (uniform, skewed
-  partitions, straggler machines, hot halo) for benchmarks and the CLI;
+  partitions, straggler machines, hot halo, cache stress, asynchrony/failure/
+  congestion) for benchmarks and the CLI;
 * :mod:`repro.perf` — the analytical performance model (Eqs. 2–7) and the
   (γ, Δ) trade-off analysis.
 
@@ -65,7 +69,9 @@ from repro.scenarios import (
     build_scenario,
 )
 from repro.training import (
+    ENGINES,
     PIPELINES,
+    AsyncClusterEngine,
     ClusterEngine,
     ClusterReport,
     TrainConfig,
@@ -111,6 +117,8 @@ __all__ = [
     "ClusterWorkload",
     "available_scenarios",
     "build_scenario",
+    "ENGINES",
+    "AsyncClusterEngine",
     "ClusterEngine",
     "ClusterReport",
     "TrainConfig",

@@ -10,8 +10,15 @@ Per fetch the stack walks the tiers top-down: rows found at a tier are served
 there (and promoted into the tiers above it, subject to their admission
 policies); rows missing everywhere are deduplicated, fetched once, and
 offered to every tier on the way back up.  The per-tier hit/miss/eviction
-counters come back in a :class:`CacheFetchResult` so the feature sources can
-thread them into :class:`~repro.features.source.FetchStats`.
+counters come back in a :class:`CacheFetchResult`, thread through
+:class:`~repro.features.source.FetchStats` into
+``TrainerRunStats.cache_stats``, and surface cluster-wide via
+:meth:`~repro.training.cluster_engine.ClusterReport.mean_tier_hit_rates` —
+identically under the lockstep and event-driven engines, since both collect
+trainer stats through the same shared helpers.  Capacity re-splitting between
+a trainer's hot tier and its machine-shared contribution is the
+:class:`~repro.cache.controller.AdaptiveCapacityController`'s job, driven by
+the per-epoch interval hit rates recorded here.
 """
 
 from __future__ import annotations

@@ -17,9 +17,16 @@ Commands
     workload from :data:`repro.scenarios.SCENARIOS` and prints per-trainer
     and cluster-level telemetry (critical path, barrier wait, hit rates).
 ``scenarios``
-    List the registered cluster scenarios and their deployment notes.
+    List the registered cluster scenarios and their deployment notes;
+    ``--markdown`` emits the ``docs/SCENARIOS.md`` catalog instead (CI
+    regenerates it and fails on drift).
 ``sweep``
     Grid-search (f_h, γ, Δ) and print the Table IV-style optimum.
+
+Execution backends are selected with ``--engine`` (see
+:data:`repro.training.engines.ENGINES`): ``repro run --engine async --sync
+bounded-staleness --staleness 2`` runs the event-driven backend with the
+chosen gradient-sync policy (``--engine async`` implies ``--cluster``).
 """
 
 from __future__ import annotations
@@ -37,11 +44,13 @@ from repro.core.eviction import EVICTION_POLICIES, build_eviction_policy
 from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
 from repro.distributed.rpc import RPC_CHANNELS
+from repro.events.sync import SYNC_POLICIES
 from repro.graph.datasets import available_datasets, load_dataset
 from repro.sampling.neighbor_sampler import SAMPLERS
-from repro.scenarios import SCENARIOS, available_scenarios
+from repro.scenarios import SCENARIOS, available_scenarios, catalog_markdown
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
+from repro.training.engines import ENGINES
 from repro.training.pipelines import PIPELINES
 from repro.training.sweep import find_optimal, run_parameter_sweep
 from repro.training.trace import list_experiments, save_trace
@@ -61,7 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list dataset analogs and their statistics")
     sub.add_parser("experiments", help="list the paper's tables/figures and their bench targets")
-    sub.add_parser("scenarios", help="list the registered cluster scenarios")
+    scenarios = sub.add_parser("scenarios", help="list the registered cluster scenarios")
+    scenarios.add_argument(
+        "--markdown", action="store_true",
+        help="emit the docs/SCENARIOS.md catalog (markdown table) instead of the "
+             "plain-text listing",
+    )
 
     # Flags shared with --cluster default to None so that only explicitly
     # passed values override a scenario's recipe; the plain run path fills in
@@ -115,6 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--adaptive-cache", action="store_true",
         help="enable the adaptive capacity controller (re-splits hot/shared tier "
              "budgets from per-epoch hit rates; needs --cache-tiers 2)",
+    )
+    run.add_argument(
+        "--engine", default=None, choices=ENGINES.names(),
+        help="cluster execution backend (default: the scenario's, lockstep). "
+             "'async' is the event-driven backend (priority-queue event loop, "
+             "pluggable gradient sync); passing it implies --cluster",
+    )
+    run.add_argument(
+        "--sync", default=None, choices=SYNC_POLICIES.names(),
+        help="gradient synchronization policy for --engine async "
+             "(default: the scenario's, allreduce-barrier — bit-identical to the "
+             "lockstep engine)",
+    )
+    run.add_argument(
+        "--staleness", type=int, default=None,
+        help="max rounds a trainer may run ahead with --sync bounded-staleness "
+             "(default: the scenario's, 1)",
+    )
+    run.add_argument(
+        "--sync-period", type=int, default=None, dest="sync_period",
+        help="steps between model averages with --sync local-sgd "
+             "(default: the scenario's, 4)",
     )
     run.add_argument(
         "--cluster", action="store_true",
@@ -198,7 +234,10 @@ def _cmd_experiments() -> int:
     return 0
 
 
-def _cmd_scenarios() -> int:
+def _cmd_scenarios(markdown: bool = False) -> int:
+    if markdown:
+        print(catalog_markdown())
+        return 0
     rows = []
     for name in available_scenarios():
         scenario = SCENARIOS.build(name)
@@ -207,11 +246,14 @@ def _cmd_scenarios() -> int:
             scenario.dataset,
             scenario.partition_method,
             "heterogeneous" if scenario.compute_multipliers else "homogeneous",
+            scenario.execution,
             scenario.pipeline,
             scenario.description,
         ])
     print(format_table(
-        ["scenario", "dataset", "partitioning", "hardware", "pipeline", "description"], rows
+        ["scenario", "dataset", "partitioning", "hardware", "execution", "pipeline",
+         "description"],
+        rows,
     ))
     return 0
 
@@ -286,7 +328,33 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         sampler=args.sampler,
         rpc=args.rpc,
+        engine=args.engine,
+        sync=args.sync,
+        staleness=args.staleness,
+        sync_period=args.sync_period,
     )
+    # A sync-policy knob only has meaning on the event-driven backend; flip
+    # the engine rather than letting the lockstep factory reject it when the
+    # user's intent is unambiguous.
+    if args.engine is None and (
+        args.sync is not None or args.staleness is not None or args.sync_period is not None
+    ):
+        scenario = scenario.with_overrides(engine="async")
+    # A knob that the effective sync policy does not consume would be
+    # silently inert (sync_policy_options only forwards staleness to
+    # bounded-staleness and sync_period to local-sgd); reject it instead of
+    # letting the user believe they measured a policy they never selected.
+    resolved_sync = SYNC_POLICIES.resolve(scenario.sync)
+    if args.staleness is not None and resolved_sync != "bounded-staleness":
+        print(f"error: --staleness only applies to the 'bounded-staleness' sync "
+              f"policy (effective policy: {resolved_sync!r}); pass "
+              f"--sync bounded-staleness", file=sys.stderr)
+        return 2
+    if args.sync_period is not None and resolved_sync != "local-sgd":
+        print(f"error: --sync-period only applies to the 'local-sgd' sync policy "
+              f"(effective policy: {resolved_sync!r}); pass --sync local-sgd",
+              file=sys.stderr)
+        return 2
     prefetch_tuning = {
         key: value
         for key, value in (
@@ -307,17 +375,22 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
         prefetch_config = dataclasses.replace(
             scenario.prefetch_config or PrefetchConfig(), **prefetch_tuning
         )
-    workload = scenario.materialize(
-        seed=args.seed,
-        train_config=TrainConfig(
-            epochs=scenario.epochs, arch=args.arch, hidden_dim=args.hidden_dim,
-            evaluate=args.evaluate, seed=args.seed,
-        ),
-    )
+    try:
+        workload = scenario.materialize(
+            seed=args.seed,
+            train_config=TrainConfig(
+                epochs=scenario.epochs, arch=args.arch, hidden_dim=args.hidden_dim,
+                evaluate=args.evaluate, seed=args.seed,
+            ),
+        )
+    except ValueError as exc:
+        # e.g. --engine lockstep combined with an async-only sync policy.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"scenario '{scenario.name}': {scenario.description}")
     print(f"dataset={scenario.dataset} scale={scenario.scale} "
           f"machines={scenario.num_machines} trainers/machine={scenario.trainers_per_machine} "
-          f"partitioning={scenario.partition_method}\n")
+          f"partitioning={scenario.partition_method} execution={scenario.execution}\n")
 
     cache_config = _build_cache_config(args)
     pipeline = args.pipeline
@@ -355,6 +428,23 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
     if tier_rates:
         per_tier = ", ".join(f"{name} {rate:.3f}" for name, rate in sorted(tier_rates.items()))
         print(f"cache tiers: {per_tier}, total evictions {report.total_tier_evictions}")
+    if report.engine is not None:
+        failures = sum(t.sync_stats.get("failures", 0.0) for t in report.trainer_stats)
+        downtime = sum(t.sync_stats.get("downtime_s", 0.0) for t in report.trainer_stats)
+        staleness_wait = sum(
+            t.sync_stats.get("staleness_wait_s", 0.0) for t in report.trainer_stats
+        )
+        hidden = sum(
+            t.sync_stats.get("hidden_sync_time_s", 0.0) for t in report.trainer_stats
+        )
+        line = f"async sync: policy {report.sync}"
+        if hidden:
+            line += f", hidden sync time {hidden:.4f}s"
+        if staleness_wait:
+            line += f", staleness wait {staleness_wait:.4f}s"
+        if failures:
+            line += f", {int(failures)} failures ({downtime:.4f}s downtime)"
+        print(line)
 
     if args.trace_dir is not None:
         import json
@@ -368,6 +458,12 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    # Engine/sync selection is a cluster-execution concern: an explicit
+    # --engine (or any async sync knob) routes through the scenario-driven
+    # cluster path, defaulting to the 'uniform' scenario.
+    if (args.engine is not None or args.sync is not None
+            or args.staleness is not None or args.sync_period is not None):
+        args.cluster = True
     if args.cluster:
         return _cmd_run_cluster(args)
     if args.scenario is not None:
@@ -502,7 +598,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "experiments":
         return _cmd_experiments()
     if args.command == "scenarios":
-        return _cmd_scenarios()
+        return _cmd_scenarios(markdown=args.markdown)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "sweep":

@@ -3,8 +3,10 @@
 Every trainer in the simulated cluster owns a :class:`SimClock`.  Components
 of a training step advance the clock and tag the time with a component label
 (``sampling``, ``rpc``, ``copy``, ``ddp``, ``lookup``, ``scoring``,
-``eviction``, ``allreduce``, ``stall``) so that the Fig. 9 style breakdowns can
-be regenerated exactly from the recorded ledger.
+``eviction``, ``allreduce``, ``stall``, ``downtime``) so that the Fig. 9
+style breakdowns can be regenerated exactly from the recorded ledger
+(``downtime`` is the transient-failure outage the event-driven engine's
+``trainer-flaky`` scenario injects).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ KNOWN_COMPONENTS = (
     "ddp",
     "allreduce",
     "stall",
+    "downtime",
     "init",
     "other",
 )

@@ -19,12 +19,12 @@ samplers (modulo sampler RNG streams, which are per-trainer in both cases).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.distributed.clock import SimClock
-from repro.distributed.cost_model import CostModel
+from repro.distributed.cost_model import CongestedCostModel, CostModel
 from repro.distributed.kvstore import KVStore
 from repro.distributed.rpc import (
     RPC_CHANNELS,
@@ -42,6 +42,9 @@ from repro.sampling.seeds import SeedPartitioner
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.events.schedule import CongestionSpec
+
 
 @dataclass
 class ClusterConfig:
@@ -57,6 +60,12 @@ class ClusterConfig:
     ``"vectorized"`` for the batched fan-out draw) and
     :data:`repro.distributed.rpc.RPC_CHANNELS` (``"per-call"`` default,
     ``"batched"`` for per-machine owner coalescing).
+
+    ``congestion`` (a :class:`~repro.events.schedule.CongestionSpec`) makes
+    the RPC fabric time-varying: every trainer's channel charges remote pulls
+    through a :class:`~repro.distributed.cost_model.CongestedCostModel` that
+    reads the trainer's simulated clock, so latency bursts hit whichever
+    steps overlap them.  ``None`` (the default) keeps the static cost model.
     """
 
     num_machines: int = 2
@@ -76,6 +85,9 @@ class ClusterConfig:
     # workload uses — bit-identical seed batches and RNG stream.
     seed_active_fraction: float = 1.0
     seed_rotation: float = 0.0
+    # Time-varying RPC congestion (see repro.events.schedule.CongestionSpec);
+    # None keeps the static preset cost model on every channel.
+    congestion: Optional["CongestionSpec"] = None
 
     def __post_init__(self) -> None:
         check_positive(self.num_machines, "num_machines")
@@ -217,11 +229,19 @@ class SimCluster:
                     seed_active_fraction=config.seed_active_fraction,
                     seed_rotation=config.seed_rotation,
                 )
+                # The clock exists before the channel so a congested fabric
+                # can read the trainer's simulated time at fetch time.
+                clock = SimClock()
+                channel_cost_model = self.cost_model
+                if config.congestion is not None:
+                    channel_cost_model = CongestedCostModel(
+                        self.cost_model, config.congestion, clock
+                    )
                 rpc = build_rpc_channel(
                     config.rpc,
                     self.servers,
                     local_part=machine,
-                    cost_model=self.cost_model,
+                    cost_model=channel_cost_model,
                     window=self._rpc_windows[machine],
                 )
                 trainers.append(
@@ -232,7 +252,7 @@ class SimCluster:
                         partition=partition,
                         dataloader=dataloader,
                         rpc=rpc,
-                        clock=SimClock(),
+                        clock=clock,
                         seeds_local=seeds_local,
                         labels=self.dataset.labels,
                     )

@@ -175,3 +175,55 @@ class CostModel:
             "allreduce_bandwidth_Bps",
         ):
             check_positive(getattr(self, name), name)
+
+
+class CongestedCostModel:
+    """A time-varying view over a base :class:`CostModel` (congested RPC link).
+
+    Wraps the RPC-facing methods so that per-request latency is multiplied
+    and effective network bandwidth divided according to a
+    :class:`~repro.events.schedule.CongestionSpec` evaluated at the owning
+    trainer's **current simulated time** (read from its
+    :class:`~repro.distributed.clock.SimClock` at call time).  Everything
+    else — copy/compute/allreduce times, the preset constants — delegates to
+    the base model untouched, so only the remote-fetch path feels the bursts.
+
+    Installed per trainer by :class:`~repro.distributed.cluster.SimCluster`
+    when the :class:`~repro.distributed.cluster.ClusterConfig` carries a
+    ``congestion`` spec; deterministic because simulated time is.
+    """
+
+    def __init__(self, base: CostModel, spec, clock):
+        self.base = base
+        self.spec = spec
+        self.clock = clock
+
+    def _factors(self) -> "tuple[float, float]":
+        return self.spec.factors_at(self.clock.time)
+
+    def time_rpc(self, num_nodes: int, feature_dim: int, num_requests: int = 1) -> float:
+        """Congestion-scaled :meth:`CostModel.time_rpc`."""
+        if num_nodes <= 0:
+            return 0.0
+        latency_mult, bandwidth_div = self._factors()
+        payload = num_nodes * feature_dim * BYTES_PER_FEATURE
+        return (
+            max(1, num_requests) * self.base.rpc_latency_s * latency_mult
+            + payload * bandwidth_div / self.base.network_bandwidth_Bps
+        )
+
+    def time_rpc_batched(
+        self, num_nodes: int, feature_dim: int, num_new_requests: int
+    ) -> float:
+        """Congestion-scaled :meth:`CostModel.time_rpc_batched`."""
+        latency_mult, bandwidth_div = self._factors()
+        payload = max(0, num_nodes) * feature_dim * BYTES_PER_FEATURE
+        return (
+            max(0, num_new_requests) * self.base.rpc_latency_s * latency_mult
+            + payload * bandwidth_div / self.base.network_bandwidth_Bps
+        )
+
+    def __getattr__(self, name: str):
+        # Fields and non-RPC component times come from the base model, so the
+        # wrapper is a drop-in CostModel wherever channels/sources expect one.
+        return getattr(self.base, name)

@@ -1,0 +1,124 @@
+"""Deterministic fault and congestion schedules for the event-driven engine.
+
+Both schedules are pure functions of a seed and a handful of spec fields, so
+the failure/congestion behaviour of a run replays **bit-identically**: the
+same seed produces the same fail/recover event sequence and the same latency
+multipliers at the same simulated instants (pinned by
+``tests/test_async_engine.py``).
+
+* :class:`FailureSpec` / :class:`FailureSchedule` — transient trainer
+  outages.  Failures are keyed by *lifetime step index* rather than absolute
+  simulated time, so the same spec stresses a 2-epoch smoke run and a
+  100-epoch workload alike; the downtime is expressed as a multiple of the
+  failing step's critical-path duration, so it scales with the workload
+  automatically.  A failed trainer finishes its in-flight step (and its
+  gradient still counts), then goes dark for the downtime — peers feel it as
+  barrier wait or a staleness stall, depending on the sync policy.
+* :class:`CongestionSpec` — a periodic square-wave congestion profile for the
+  RPC fabric: during a burst the per-request latency is multiplied and the
+  effective bandwidth divided.  Fed through
+  :class:`~repro.distributed.cost_model.CongestedCostModel`, which reads the
+  trainer's simulated clock at fetch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Parameters of the seeded transient-failure process (per trainer).
+
+    ``rate`` is the per-step failure probability; ``min_downtime_steps`` /
+    ``max_downtime_steps`` bound the outage length in multiples of the failing
+    step's critical-path time; ``horizon_steps`` is how many lifetime steps of
+    schedule are drawn per trainer (steps beyond the horizon never fail).
+    """
+
+    rate: float = 0.05
+    min_downtime_steps: float = 3.0
+    max_downtime_steps: float = 10.0
+    horizon_steps: int = 512
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"failure rate must be in [0, 1], got {self.rate!r}")
+        check_positive(self.min_downtime_steps, "min_downtime_steps")
+        check_positive(self.max_downtime_steps, "max_downtime_steps")
+        if self.max_downtime_steps < self.min_downtime_steps:
+            raise ValueError("max_downtime_steps must be >= min_downtime_steps")
+        check_positive(self.horizon_steps, "horizon_steps")
+
+
+class FailureSchedule:
+    """The materialized per-rank failure plan: ``{step_index: downtime_factor}``.
+
+    Built once per run from ``(spec, world_size, seed)``; the draw uses one
+    child RNG per rank (salted with the rank), so the schedule of rank *r*
+    does not depend on the world size seen by other ranks.
+    """
+
+    def __init__(self, spec: FailureSpec, world_size: int, seed: int):
+        self.spec = spec
+        self.world_size = int(world_size)
+        self.seed = int(seed)
+        self._plan: Dict[int, Dict[int, float]] = {}
+        for rank in range(self.world_size):
+            rng = np.random.default_rng(derive_seed(seed, 761, rank))
+            fails = rng.random(spec.horizon_steps) < spec.rate
+            factors = rng.uniform(
+                spec.min_downtime_steps, spec.max_downtime_steps, spec.horizon_steps
+            )
+            self._plan[rank] = {
+                int(step): float(factors[step]) for step in np.nonzero(fails)[0]
+            }
+
+    def downtime_factor(self, rank: int, step: int) -> Optional[float]:
+        """Downtime multiple if *rank* fails after lifetime *step*, else ``None``."""
+        return self._plan.get(rank, {}).get(step)
+
+    def total_planned_failures(self) -> int:
+        return sum(len(plan) for plan in self._plan.values())
+
+
+@dataclass(frozen=True)
+class CongestionSpec:
+    """A periodic square-wave congestion profile on the RPC fabric.
+
+    For simulated time *t*, the link is congested when
+    ``((t + phase_s) mod period_s) < duty * period_s``; while congested,
+    RPC latency is multiplied by ``latency_multiplier`` and bandwidth divided
+    by ``bandwidth_divisor``.  Defaults are sized for smoke-scale runs (step
+    times in the 0.1–1 ms range), giving several bursts per epoch.
+    """
+
+    period_s: float = 2.0e-3
+    duty: float = 0.5
+    latency_multiplier: float = 10.0
+    bandwidth_divisor: float = 4.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.period_s, "period_s")
+        if not 0.0 < self.duty <= 1.0:
+            raise ValueError(f"duty must be in (0, 1], got {self.duty!r}")
+        if self.latency_multiplier < 1.0:
+            raise ValueError("latency_multiplier must be >= 1")
+        if self.bandwidth_divisor < 1.0:
+            raise ValueError("bandwidth_divisor must be >= 1")
+
+    def congested_at(self, time_s: float) -> bool:
+        return ((time_s + self.phase_s) % self.period_s) < self.duty * self.period_s
+
+    def factors_at(self, time_s: float) -> Tuple[float, float]:
+        """``(latency_multiplier, bandwidth_divisor)`` in effect at *time_s*."""
+        if self.congested_at(time_s):
+            return (self.latency_multiplier, self.bandwidth_divisor)
+        return (1.0, 1.0)

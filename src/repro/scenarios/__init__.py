@@ -2,9 +2,10 @@
 
 A :class:`ClusterScenario` is a recipe for a full cluster training workload —
 dataset analog, topology, partitioning policy, per-machine heterogeneity, the
-pipeline to run, and its prefetch tuning.  Scenarios are registered by name in
-:data:`SCENARIOS`, so diverse deployments are exercised the same way pipelines
-and eviction policies are selected everywhere else in the package::
+execution backend (lockstep or event-driven, with its sync policy), the
+pipeline to run, and its prefetch/cache tuning.  Scenarios are registered by
+name in :data:`SCENARIOS`, so diverse deployments are exercised the same way
+pipelines and eviction policies are selected everywhere else in the package::
 
     from repro.scenarios import build_scenario
 
@@ -12,14 +13,16 @@ and eviction policies are selected everywhere else in the package::
     report = workload.run()          # -> ClusterReport
     print(report.summary())
 
-The shipped library (:mod:`repro.scenarios.library`) mirrors the deployment
-axes of the paper's evaluation: ``uniform`` is the nominal one-partition-per-
-machine Perlmutter layout, ``skewed-partitions`` breaks METIS's balance,
-``straggler-machine`` slows one machine's compute, and ``hot-halo`` drives
-power-law cross-partition traffic through a locality-free partitioning of a
-hub-heavy graph.
+The shipped library (:mod:`repro.scenarios.library`) spans the deployment
+axes of the paper's evaluation (``uniform``, ``skewed-partitions``,
+``straggler-machine``, ``hot-halo``), the cache-stress workloads
+(``hot-set-drift``, ``cache-churn``), and the event-driven workloads only the
+async backend can express (``async-staleness``, ``trainer-flaky``,
+``congested-link``).  The rendered catalog lives in ``docs/SCENARIOS.md``
+(regenerate with ``repro scenarios --markdown``; CI drift-checks it).
 """
 
+from repro.scenarios.catalog import catalog_markdown
 from repro.scenarios.registry import (
     SCENARIOS,
     ClusterScenario,
@@ -35,4 +38,5 @@ __all__ = [
     "ClusterWorkload",
     "available_scenarios",
     "build_scenario",
+    "catalog_markdown",
 ]

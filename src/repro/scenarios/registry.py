@@ -9,9 +9,11 @@ from repro.cache.config import CacheConfig
 from repro.core.config import PrefetchConfig
 from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
+from repro.events.schedule import CongestionSpec, FailureSpec
 from repro.graph.datasets import GraphDataset, load_dataset
-from repro.training.cluster_engine import ClusterEngine, ClusterReport
+from repro.training.cluster_engine import ClusterReport
 from repro.training.config import TrainConfig
+from repro.training.engines import ENGINES
 from repro.utils.registry import Registry
 
 SCENARIOS = Registry("scenario")
@@ -56,6 +58,34 @@ class ClusterScenario:
     # defaults iterate the full seed set exactly like the pre-drift loader.
     seed_active_fraction: float = 1.0
     seed_rotation: float = 0.0
+    # Execution backend (see repro.training.engines.ENGINES) and — for the
+    # event-driven backend — the gradient sync policy and its knobs
+    # (repro.events.sync.SYNC_POLICIES).  The defaults run every pre-existing
+    # scenario through the lockstep engine unchanged.
+    engine: str = "lockstep"
+    sync: str = "allreduce-barrier"
+    staleness: int = 1
+    sync_period: int = 4
+    # Event-driven stress inputs: a seeded transient-failure schedule and a
+    # time-varying RPC congestion profile (repro.events.schedule).
+    failures: Optional[FailureSpec] = None
+    congestion: Optional[CongestionSpec] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def execution(self) -> str:
+        """Engine/sync label for catalogs and the CLI (e.g. ``async · local-sgd(H=4)``)."""
+        from repro.events.sync import SYNC_POLICIES
+
+        engine = ENGINES.resolve(self.engine)
+        if engine == "lockstep":
+            return "lockstep"
+        sync = SYNC_POLICIES.resolve(self.sync)
+        if sync == "bounded-staleness":
+            sync = f"bounded-staleness(K={self.staleness})"
+        elif sync == "local-sgd":
+            sync = f"local-sgd(H={self.sync_period})"
+        return f"async · {sync}"
 
     # ------------------------------------------------------------------ #
     def with_overrides(self, **overrides) -> "ClusterScenario":
@@ -91,6 +121,7 @@ class ClusterScenario:
             rpc=self.rpc,
             seed_active_fraction=self.seed_active_fraction,
             seed_rotation=self.seed_rotation,
+            congestion=self.congestion,
         )
 
     def cost_model(self) -> CostModel:
@@ -111,18 +142,32 @@ class ClusterScenario:
         cluster = SimCluster(dataset, self.cluster_config(seed), cost_model=self.cost_model())
         if train_config is None:
             train_config = TrainConfig(epochs=self.epochs, hidden_dim=32, seed=seed)
-        engine = ClusterEngine(cluster, train_config, scenario=self.name)
+        engine = ENGINES.build(
+            self.engine,
+            cluster,
+            train_config,
+            scenario=self.name,
+            sync=self.sync,
+            staleness=self.staleness,
+            sync_period=self.sync_period,
+            failures=self.failures,
+        )
         return ClusterWorkload(scenario=self, dataset=dataset, cluster=cluster, engine=engine)
 
 
 @dataclass
 class ClusterWorkload:
-    """A materialized scenario, ready to run."""
+    """A materialized scenario, ready to run.
+
+    ``engine`` is whichever backend the scenario selected from
+    :data:`~repro.training.engines.ENGINES` (lockstep or event-driven); both
+    expose the same ``run(pipeline, ...) -> ClusterReport`` contract.
+    """
 
     scenario: ClusterScenario
     dataset: GraphDataset
     cluster: SimCluster
-    engine: ClusterEngine
+    engine: object
 
     def run(
         self,

@@ -1,9 +1,11 @@
 """Training pipelines: baseline DistDGL-style and MassiveGNN prefetch-enabled."""
 
+from repro.training.async_engine import AsyncClusterEngine
 from repro.training.baseline import train_baseline
 from repro.training.cluster_engine import ClusterEngine, ClusterReport, TrainerRunStats
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
+from repro.training.engines import ENGINES, build_engine
 from repro.training.evaluate import evaluate_accuracy, evaluate_loss, majority_class_accuracy
 from repro.training.massive import (
     compare_baseline_and_prefetch,
@@ -38,6 +40,9 @@ __all__ = [
     "train_with_pipeline",
     "TrainConfig",
     "TrainingEngine",
+    "AsyncClusterEngine",
+    "ENGINES",
+    "build_engine",
     "ClusterEngine",
     "ClusterReport",
     "TrainerRunStats",

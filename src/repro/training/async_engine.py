@@ -1,0 +1,373 @@
+"""Event-driven cluster execution: trainers post events instead of lockstepping.
+
+:class:`AsyncClusterEngine` is the discrete-event counterpart of the lockstep
+:class:`~repro.training.cluster_engine.ClusterEngine`.  Instead of marching
+every trainer to a shared allreduce barrier each step, trainers post
+**step-completion events** onto a deterministic
+:class:`~repro.events.loop.EventLoop` (ties broken by ``(timestamp, rank,
+seq)``), and a pluggable :class:`~repro.events.sync.SyncPolicy` from
+:data:`~repro.events.sync.SYNC_POLICIES` decides when gradients meet the
+model:
+
+* ``allreduce-barrier`` reproduces the lockstep engine **bit-identically** —
+  same losses, clocks, barrier waits, and RPC wire counters on the golden
+  2x2 workload (pinned by ``tests/test_async_engine.py``);
+* ``bounded-staleness`` lets trainers run up to K rounds ahead, applying
+  stale averaged gradients — stragglers stop dragging the whole cluster;
+* ``local-sgd`` gives every trainer its own parameter replica and averages
+  them every H steps.
+
+The event loop is also where behaviours a barrier cannot express live:
+
+* **transient failures** (``trainer-flaky`` scenario) — a seeded
+  :class:`~repro.events.schedule.FailureSchedule` takes a trainer down after
+  selected steps; the outage is booked as ``downtime`` on its clock, a
+  ``fail``/``recover`` event pair lands in the loop, and peers feel the gap
+  through whichever sync policy is active.  Same seed ⇒ bit-identical replay.
+* **time-varying congestion** (``congested-link`` scenario) — handled below
+  the engine by :class:`~repro.distributed.cost_model.CongestedCostModel`,
+  which the event-driven clocks make meaningful (different trainers hit
+  different bursts).
+
+Everything around the event core — run setup, per-step compute, telemetry
+roll-up — is shared with the lockstep engine via the module-level helpers in
+:mod:`repro.training.cluster_engine`, so the two engines cannot drift.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.core.config import PrefetchConfig
+from repro.core.eviction import EvictionPolicy
+from repro.distributed.cluster import SimCluster
+from repro.events.loop import Event, EventLoop
+from repro.events.schedule import FailureSchedule, FailureSpec
+from repro.events.sync import SYNC_POLICIES, StepContribution, SyncContext
+from repro.sampling.pipeline import MiniBatchPipeline
+from repro.training.cluster_engine import (
+    ClusterReport,
+    collect_trainer_stats,
+    merged_store_summary,
+    prepare_cluster_run,
+)
+from repro.training.config import TrainConfig
+from repro.training.engine import (
+    PipelineBuilder,
+    assemble_training_report,
+    train_step,
+)
+from repro.training.telemetry import EpochRecord
+
+
+class AsyncClusterEngine:
+    """Run one pipeline per trainer, scheduled by a discrete-event loop.
+
+    Parameters
+    ----------
+    cluster, train_config, scenario:
+        As for :class:`~repro.training.cluster_engine.ClusterEngine`.
+    sync:
+        Name of the gradient synchronization policy
+        (:data:`~repro.events.sync.SYNC_POLICIES`).
+    sync_options:
+        Keyword arguments for the policy factory (e.g. ``staleness=2`` for
+        ``bounded-staleness``, ``sync_period=4`` for ``local-sgd``).
+    failures:
+        Optional :class:`~repro.events.schedule.FailureSpec`; when set, a
+        seeded schedule injects transient trainer outages.
+    record_events:
+        Keep the popped-event history on :attr:`event_history` after a run
+        (the determinism tests compare histories across runs).
+    """
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        train_config: TrainConfig,
+        scenario: Optional[str] = None,
+        sync: str = "allreduce-barrier",
+        sync_options: Optional[Dict[str, object]] = None,
+        failures: Optional[FailureSpec] = None,
+        record_events: bool = False,
+    ):
+        self.cluster = cluster
+        self.config = train_config
+        self.cost_model = cluster.cost_model
+        self.dataset = cluster.dataset
+        self.scenario = scenario
+        self.sync = SYNC_POLICIES.resolve(sync)
+        self.sync_options = dict(sync_options or {})
+        self.failures = failures
+        self.record_events = record_events
+        #: ``(kind, time, rank, seq)`` tuples of the last run (record_events).
+        self.event_history: List[tuple] = []
+        cluster.validate_seed_coverage()
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        pipeline: Union[str, PipelineBuilder] = "baseline",
+        prefetch_config: Optional[PrefetchConfig] = None,
+        eviction_policy: Optional[EvictionPolicy] = None,
+        cache_config: Optional[CacheConfig] = None,
+    ) -> ClusterReport:
+        """Train the cluster event-driven; same contract as the lockstep engine."""
+        cluster, config = self.cluster, self.config
+        setup = prepare_cluster_run(
+            cluster, config, pipeline, prefetch_config, eviction_policy, cache_config
+        )
+        trainers = cluster.trainers
+        world = len(trainers)
+        model, optimizer = setup.model, setup.optimizer
+        pipelines: List[MiniBatchPipeline] = setup.pipelines
+        accumulators = setup.accumulators
+
+        policy = SYNC_POLICIES.build(self.sync, **self.sync_options)
+        loop = EventLoop(record=self.record_events)
+        schedule = (
+            FailureSchedule(self.failures, world, cluster.config.seed)
+            if self.failures is not None
+            else None
+        )
+
+        # Mutable run state shared with the nested handlers.
+        trainer_steps = [0] * world          # lifetime steps (drives Δ/Eq. 4 + failures)
+        barrier_waits = [0.0] * world
+        sync_extras: List[Dict[str, float]] = [{} for _ in range(world)]
+        down = [False] * world
+        pending_release = [False] * world
+        total_minibatches = 0
+
+        # Per-epoch state, rebound at each epoch start.
+        state: Dict[str, object] = {}
+
+        def schedule_ready(rank: int) -> None:
+            """Policy callback: the trainer may begin its next step.
+
+            Routed through the engine so epoch caps, exhausted iterators, and
+            failure outages are honoured before an event lands in the loop.
+            """
+            if not state["active"][rank]:
+                return
+            if (
+                config.max_steps_per_epoch is not None
+                and state["epoch_steps"][rank] >= config.max_steps_per_epoch
+            ):
+                mark_exhausted(rank)
+                return
+            if down[rank]:
+                pending_release[rank] = True
+                return
+            loop.push(trainers[rank].clock.time, "step-ready", rank)
+
+        def mark_exhausted(rank: int) -> None:
+            state["active"][rank] = False
+            state["epoch_done"][rank] = True
+            policy.on_trainer_exhausted(rank, trainers[rank].clock.time)
+
+        def record_round(contributions: List[StepContribution]) -> None:
+            for c in contributions:
+                record_step(c)
+
+        def record_step(c: StepContribution) -> None:
+            state["losses"].append(c.loss)
+            state["correct"] = state["correct"] + c.n_correct
+            state["seen"] = state["seen"] + c.n_seen
+
+        # ---------------- event handlers ----------------
+        def on_step_ready(ev: Event) -> None:
+            rank = ev.rank
+            if down[rank]:
+                # Unreachable under the shipped policies (a trainer can only
+                # fail during its own step-done, before any release), but a
+                # future policy releasing early must not start a downed
+                # trainer.
+                pending_release[rank] = True
+                return
+            if not policy.can_start(rank):
+                return  # the policy holds the trainer (and starts it itself)
+            start_step(rank)
+
+        def start_step(rank: int) -> None:
+            nonlocal total_minibatches
+            trainer = trainers[rank]
+            # Open this trainer's RPC coalescing window for its current round
+            # *before* advancing the pipeline generator — the halo fetch runs
+            # inside next().  Same-machine trainers in the same round share
+            # the window (begin_step with an unchanged id is idempotent), so
+            # barrier-mode coalescing matches the lockstep engine's, which
+            # also opens the round's windows before any trainer fetches.
+            trainer.rpc.begin_step(policy.coalescing_round(rank))
+            try:
+                batch = next(state["iterators"][rank])
+            except StopIteration:
+                mark_exhausted(rank)
+                return
+            policy.before_step(rank)
+            timing, loss, n_correct, n_seen, grads = train_step(
+                setup.cost_models[rank],
+                trainer,
+                batch,
+                model,
+                pipelines[rank].timing,
+                trainer_steps[rank],
+            )
+            trainer_steps[rank] += 1
+            state["epoch_steps"][rank] += 1
+            total_minibatches += 1
+            accumulators[rank].add(timing)
+            grads = policy.process_step(rank, grads)
+            loop.push(
+                trainer.clock.time,
+                "step-done",
+                rank,
+                contribution=StepContribution(rank, loss, n_correct, n_seen, grads),
+                step_critical=timing.critical_path,
+            )
+
+        def on_step_done(ev: Event) -> None:
+            rank, now = ev.rank, ev.time
+            # Failure (if scheduled for the step that just finished) lands
+            # *before* the policy reacts: the gradient still counts — the
+            # compute completed — but the trainer goes dark before it can be
+            # released, so peers meet the outage at their next sync point.
+            if schedule is not None:
+                factor = schedule.downtime_factor(rank, trainer_steps[rank] - 1)
+                if factor is not None:
+                    fail(rank, now, factor * max(ev.payload["step_critical"], 1e-12))
+            policy.on_step_done(ev.payload["contribution"], now)
+
+        def fail(rank: int, now: float, downtime: float) -> None:
+            down[rank] = True
+            loop.push(now, "fail", rank)  # observational marker in the history
+            clock = trainers[rank].clock
+            clock.advance(downtime, "downtime")
+            extras = sync_extras[rank]
+            extras["failures"] = extras.get("failures", 0.0) + 1.0
+            extras["downtime_s"] = extras.get("downtime_s", 0.0) + downtime
+            loop.push(clock.time, "recover", rank)
+
+        def on_recover(ev: Event) -> None:
+            rank = ev.rank
+            down[rank] = False
+            if pending_release[rank]:
+                pending_release[rank] = False
+                schedule_ready(rank)
+
+        handlers = {
+            "step-ready": on_step_ready,
+            "step-done": on_step_done,
+            "recover": on_recover,
+            "fail": lambda ev: None,
+        }
+
+        ctx = SyncContext(
+            trainers=trainers,
+            model=model,
+            optimizer=optimizer,
+            cost_model=cluster.cost_model,
+            num_params=setup.num_params,
+            accumulators=accumulators,
+            barrier_waits=barrier_waits,
+            sync_extras=sync_extras,
+            train_config=config,
+            schedule_ready=schedule_ready,
+            record_round=record_round,
+            record_step=record_step,
+            start_step=start_step,
+        )
+        policy.bind(ctx)
+
+        # ---------------- epoch loop ----------------
+        epoch_records: List[EpochRecord] = []
+        previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+
+        for epoch in range(config.epochs):
+            state = {
+                "iterators": [iter(pl.epoch()) for pl in pipelines],
+                "active": [True] * world,
+                "epoch_done": [False] * world,
+                "epoch_steps": [0] * world,
+                "losses": [],
+                "correct": 0,
+                "seen": 0,
+            }
+            policy.on_epoch_start(list(range(world)))
+            for rank in range(world):
+                schedule_ready(rank)
+
+            while True:
+                ev = loop.pop()
+                if ev is None:
+                    break
+                handlers[ev.kind](ev)
+
+            stranded = [r for r in range(world) if not state["epoch_done"][r]]
+            if stranded:
+                raise RuntimeError(
+                    f"event loop drained with trainers {stranded} stranded in epoch "
+                    f"{epoch}: sync policy {policy.name!r} failed to release them"
+                )
+            policy.on_epoch_end()
+
+            epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+            hit_rates = [pl.hit_rate for pl in pipelines if pl.hit_rate is not None]
+            losses = state["losses"]
+            epoch_records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    simulated_time_s=epoch_end - previous_epoch_end,
+                    loss=float(np.mean(losses)) if losses else 0.0,
+                    train_accuracy=(
+                        state["correct"] / state["seen"] if state["seen"] else 0.0
+                    ),
+                    hit_rate=float(np.mean(hit_rates)) if hit_rates else None,
+                )
+            )
+            previous_epoch_end = epoch_end
+            for pl in pipelines:
+                if pl.feature_store is not None:
+                    pl.feature_store.end_epoch()
+
+        policy.on_run_end()
+        if self.record_events:
+            self.event_history = list(loop.history)
+
+        report = assemble_training_report(
+            mode=setup.mode,
+            cluster=cluster,
+            train_config=config,
+            pipelines=pipelines,
+            accumulators=accumulators,
+            epoch_records=epoch_records,
+            init_reports=setup.init_reports,
+            total_minibatches=total_minibatches,
+            wall_clock_s=time.perf_counter() - setup.wall_start,
+            model=model,
+            prefetch_config=prefetch_config,
+        )
+        self._final_model = model
+        return ClusterReport(
+            report=report,
+            trainer_stats=collect_trainer_stats(
+                cluster, pipelines, trainer_steps, barrier_waits, sync_extras
+            ),
+            scenario=self.scenario,
+            store_summary=merged_store_summary(pipelines),
+            engine="async",
+            sync=policy.describe(),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def final_model(self):
+        """The trained model from the most recent run."""
+        model = getattr(self, "_final_model", None)
+        if model is None:
+            raise RuntimeError("no cluster run has completed yet")
+        return model

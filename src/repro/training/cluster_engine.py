@@ -79,6 +79,10 @@ class TrainerRunStats:
     # tier-less runs, and then omitted from as_dict so the golden fixture
     # schema is untouched unless cache tiers are actually in play.
     cache_stats: Dict[str, float] = field(default_factory=dict)
+    # Async-engine extras (hidden sync time, staleness waits, failure
+    # downtime, model averages); empty — and omitted from as_dict — on
+    # lockstep runs, same golden-schema discipline as cache_stats.
+    sync_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def busy_time_s(self) -> float:
@@ -102,6 +106,8 @@ class TrainerRunStats:
         }
         if self.cache_stats:
             out["cache_stats"] = dict(self.cache_stats)
+        if self.sync_stats:
+            out["sync_stats"] = dict(self.sync_stats)
         return out
 
 
@@ -113,6 +119,11 @@ class ClusterReport:
     trainer_stats: List[TrainerRunStats] = field(default_factory=list)
     scenario: Optional[str] = None
     store_summary: Dict[str, float] = field(default_factory=dict)
+    # Execution-backend provenance: set by the async engine ("async" plus the
+    # sync-policy description); None on lockstep runs, and then omitted from
+    # as_dict/summary so the golden fixture schema is untouched.
+    engine: Optional[str] = None
+    sync: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Cluster aggregates
@@ -219,6 +230,9 @@ class ClusterReport:
             "final_train_accuracy": self.report.final_train_accuracy,
             "num_minibatches": float(self.report.num_minibatches),
         }
+        if self.engine is not None:
+            out["engine"] = self.engine
+            out["sync"] = self.sync or ""
         if self.mean_hit_rate is not None:
             out["mean_hit_rate"] = self.mean_hit_rate
         tier_rates = self.mean_tier_hit_rates()
@@ -230,7 +244,7 @@ class ClusterReport:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable dump (golden-number fixtures, trace files)."""
-        return {
+        out = {
             "scenario": self.scenario,
             "mode": self.report.mode,
             "dataset": self.report.dataset,
@@ -250,6 +264,151 @@ class ClusterReport:
             "total_rpc_requests": self.total_rpc_requests,
             "trainers": [t.as_dict() for t in self.trainer_stats],
         }
+        if self.engine is not None:
+            out["engine"] = self.engine
+            out["sync"] = self.sync
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Shared run machinery
+#
+# The lockstep ClusterEngine and the event-driven AsyncClusterEngine
+# (repro.training.async_engine) build identical run state and collect
+# identical per-trainer telemetry; keeping the code here as module-level
+# helpers is what lets the async engine's allreduce-barrier mode stay
+# bit-identical to the lockstep loop (tests/test_async_engine.py).
+# --------------------------------------------------------------------------- #
+@dataclass
+class ClusterRunSetup:
+    """Everything both cluster engines build before their first step/event."""
+
+    model: object
+    optimizer: object
+    num_params: int
+    cost_models: List[object]
+    pipelines: List[MiniBatchPipeline]
+    mode: str
+    init_reports: List[Dict[str, float]]
+    accumulators: List[ComponentAccumulator]
+    wall_start: float
+
+
+def prepare_cluster_run(
+    cluster: SimCluster,
+    config: TrainConfig,
+    pipeline: Union[str, PipelineBuilder],
+    prefetch_config: Optional[PrefetchConfig],
+    eviction_policy: Optional[EvictionPolicy],
+    cache_config: Optional[CacheConfig],
+) -> ClusterRunSetup:
+    """Reset the cluster and build model/optimizer/pipelines for one run.
+
+    Mirrors the single-run engine's setup exactly (same derive_seed salts,
+    same init-cost charging order), which is what the differential tests on
+    both cluster engines rely on.
+    """
+    if isinstance(pipeline, str):
+        name: Optional[str] = PIPELINES.resolve(pipeline)
+        builder: PipelineBuilder = PIPELINES.get(pipeline)
+    else:
+        name = None
+        builder = pipeline
+
+    wall_start = time.perf_counter()
+    cluster.reset()
+
+    model = build_model(
+        config.arch,
+        in_dim=cluster.dataset.feature_dim,
+        hidden_dim=config.hidden_dim,
+        num_classes=cluster.dataset.num_classes,
+        num_layers=config.num_layers,
+        num_heads=config.num_heads,
+        seed=derive_seed(config.seed, 401),
+    )
+    optimizer = build_optimizer(
+        config.optimizer, lr=config.learning_rate, weight_decay=config.weight_decay
+    )
+    trainers = cluster.trainers
+    # Heterogeneity: compute is charged through the owning machine's cost
+    # model; with all multipliers at 1.0 these are value-identical to the
+    # shared model, which is what keeps the differential tests exact.
+    cost_models = [cluster.cost_model_for_machine(t.machine) for t in trainers]
+
+    builder_kwargs = {
+        "prefetch_config": prefetch_config,
+        "eviction_policy": eviction_policy,
+    }
+    if cache_config is not None:
+        builder_kwargs["cache_config"] = cache_config
+    pipelines: List[MiniBatchPipeline] = [
+        builder(trainer, cluster, **builder_kwargs) for trainer in trainers
+    ]
+    mode = name or (pipelines[0].name if pipelines else "pipeline")
+    init_reports: List[Dict[str, float]] = []
+    for trainer, pl in zip(trainers, pipelines):
+        if pl.init_report is not None:
+            trainer.clock.advance(pl.init_time_s, "init")
+            init_reports.append(dict(pl.init_report))
+
+    return ClusterRunSetup(
+        model=model,
+        optimizer=optimizer,
+        num_params=model.num_parameters(),
+        cost_models=cost_models,
+        pipelines=pipelines,
+        mode=mode,
+        init_reports=init_reports,
+        accumulators=[ComponentAccumulator() for _ in trainers],
+        wall_start=wall_start,
+    )
+
+
+def collect_trainer_stats(
+    cluster: SimCluster,
+    pipelines: List[MiniBatchPipeline],
+    trainer_steps: List[int],
+    barrier_waits: List[float],
+    sync_extras: Optional[List[Dict[str, float]]] = None,
+) -> List[TrainerRunStats]:
+    """Per-trainer telemetry roll-up shared by both cluster engines."""
+    stats: List[TrainerRunStats] = []
+    for i, (trainer, pl) in enumerate(zip(cluster.trainers, pipelines)):
+        stats.append(
+            TrainerRunStats(
+                global_rank=trainer.global_rank,
+                machine=trainer.machine,
+                local_rank=trainer.local_rank,
+                simulated_time_s=trainer.clock.time,
+                barrier_wait_s=barrier_waits[i],
+                num_steps=trainer_steps[i],
+                compute_multiplier=cluster.config.compute_multiplier(trainer.machine),
+                hit_rate=pl.hit_rate,
+                rpc_stats=trainer.rpc.stats.as_dict(),
+                components=trainer.clock.breakdown(),
+                store_summary=(
+                    pl.feature_store.summary() if pl.feature_store is not None else {}
+                ),
+                cache_stats=(
+                    pl.feature_store.cache_summary()
+                    if pl.feature_store is not None
+                    and hasattr(pl.feature_store, "cache_summary")
+                    else {}
+                ),
+                sync_stats=(
+                    dict(sync_extras[i]) if sync_extras is not None else {}
+                ),
+            )
+        )
+    return stats
+
+
+def merged_store_summary(pipelines: List[MiniBatchPipeline]) -> Dict[str, float]:
+    """Cluster-wide feature-store summary over every pipeline that has a store."""
+    return merge_store_summaries(
+        pl.feature_store.summary() for pl in pipelines if pl.feature_store is not None
+    )
 
 
 class ClusterEngine:
@@ -285,54 +444,17 @@ class ClusterEngine:
         forwarded when set, so custom builders with the historical signature
         keep working.
         """
-        if isinstance(pipeline, str):
-            name: Optional[str] = PIPELINES.resolve(pipeline)
-            builder: PipelineBuilder = PIPELINES.get(pipeline)
-        else:
-            name = None
-            builder = pipeline
-
-        wall_start = time.perf_counter()
         cluster, config = self.cluster, self.config
-        cluster.reset()
-
-        model = build_model(
-            config.arch,
-            in_dim=self.dataset.feature_dim,
-            hidden_dim=config.hidden_dim,
-            num_classes=self.dataset.num_classes,
-            num_layers=config.num_layers,
-            num_heads=config.num_heads,
-            seed=derive_seed(config.seed, 401),
+        setup = prepare_cluster_run(
+            cluster, config, pipeline, prefetch_config, eviction_policy, cache_config
         )
-        optimizer = build_optimizer(
-            config.optimizer, lr=config.learning_rate, weight_decay=config.weight_decay
-        )
-        num_params = model.num_parameters()
+        model, optimizer = setup.model, setup.optimizer
+        num_params = setup.num_params
+        cost_models, pipelines, mode = setup.cost_models, setup.pipelines, setup.mode
         trainers = cluster.trainers
         world = len(trainers)
-        # Heterogeneity: compute is charged through the owning machine's cost
-        # model; with all multipliers at 1.0 these are value-identical to the
-        # shared model, which is what keeps the differential tests exact.
-        cost_models = [cluster.cost_model_for_machine(t.machine) for t in trainers]
 
-        builder_kwargs = {
-            "prefetch_config": prefetch_config,
-            "eviction_policy": eviction_policy,
-        }
-        if cache_config is not None:
-            builder_kwargs["cache_config"] = cache_config
-        pipelines: List[MiniBatchPipeline] = [
-            builder(trainer, cluster, **builder_kwargs) for trainer in trainers
-        ]
-        mode = name or (pipelines[0].name if pipelines else "pipeline")
-        init_reports: List[Dict[str, float]] = []
-        for trainer, pl in zip(trainers, pipelines):
-            if pl.init_report is not None:
-                trainer.clock.advance(pl.init_time_s, "init")
-                init_reports.append(dict(pl.init_report))
-
-        accumulators = [ComponentAccumulator() for _ in range(world)]
+        accumulators = setup.accumulators
         trainer_steps = [0] * world
         barrier_waits = [0.0] * world
         total_minibatches = 0
@@ -416,22 +538,20 @@ class ClusterEngine:
             pipelines=pipelines,
             accumulators=accumulators,
             epoch_records=epoch_records,
-            init_reports=init_reports,
+            init_reports=setup.init_reports,
             total_minibatches=total_minibatches,
-            wall_clock_s=time.perf_counter() - wall_start,
+            wall_clock_s=time.perf_counter() - setup.wall_start,
             model=model,
             prefetch_config=prefetch_config,
         )
         self._final_model = model
         return ClusterReport(
             report=report,
-            trainer_stats=self._collect_trainer_stats(pipelines, trainer_steps, barrier_waits),
-            scenario=self.scenario,
-            store_summary=merge_store_summaries(
-                pl.feature_store.summary()
-                for pl in pipelines
-                if pl.feature_store is not None
+            trainer_stats=collect_trainer_stats(
+                cluster, pipelines, trainer_steps, barrier_waits
             ),
+            scenario=self.scenario,
+            store_summary=merged_store_summary(pipelines),
         )
 
     # ------------------------------------------------------------------ #
@@ -460,39 +580,6 @@ class ClusterEngine:
             if wait > 0:
                 barrier_waits[i] += wait
                 trainer.clock.advance(wait, "stall")
-
-    def _collect_trainer_stats(
-        self,
-        pipelines: List[MiniBatchPipeline],
-        trainer_steps: List[int],
-        barrier_waits: List[float],
-    ) -> List[TrainerRunStats]:
-        stats: List[TrainerRunStats] = []
-        for i, (trainer, pl) in enumerate(zip(self.cluster.trainers, pipelines)):
-            stats.append(
-                TrainerRunStats(
-                    global_rank=trainer.global_rank,
-                    machine=trainer.machine,
-                    local_rank=trainer.local_rank,
-                    simulated_time_s=trainer.clock.time,
-                    barrier_wait_s=barrier_waits[i],
-                    num_steps=trainer_steps[i],
-                    compute_multiplier=self.cluster.config.compute_multiplier(trainer.machine),
-                    hit_rate=pl.hit_rate,
-                    rpc_stats=trainer.rpc.stats.as_dict(),
-                    components=trainer.clock.breakdown(),
-                    store_summary=(
-                        pl.feature_store.summary() if pl.feature_store is not None else {}
-                    ),
-                    cache_stats=(
-                        pl.feature_store.cache_summary()
-                        if pl.feature_store is not None
-                        and hasattr(pl.feature_store, "cache_summary")
-                        else {}
-                    ),
-                )
-            )
-        return stats
 
     # ------------------------------------------------------------------ #
     @property

@@ -1,0 +1,102 @@
+"""The :data:`ENGINES` registry: cluster execution backends selected by name.
+
+Two backends ship:
+
+* ``lockstep`` — :class:`~repro.training.cluster_engine.ClusterEngine`, the
+  bulk-synchronous loop (every trainer meets every allreduce barrier);
+* ``async`` — :class:`~repro.training.async_engine.AsyncClusterEngine`, the
+  discrete-event backend whose gradient synchronization is a pluggable
+  :class:`~repro.events.sync.SyncPolicy` (``allreduce-barrier``,
+  ``bounded-staleness``, ``local-sgd``) and which supports seeded transient
+  failures.
+
+Scenarios and the CLI resolve engines the same way they resolve pipelines and
+samplers — by registry key — so a new backend plugs in without touching
+either.  The ``lockstep`` factory rejects async-only knobs (a non-barrier
+sync policy, a failure schedule) instead of silently ignoring them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.distributed.cluster import SimCluster
+from repro.events.schedule import FailureSpec
+from repro.events.sync import SYNC_POLICIES
+from repro.training.async_engine import AsyncClusterEngine
+from repro.training.cluster_engine import ClusterEngine
+from repro.training.config import TrainConfig
+from repro.utils.registry import Registry
+
+ENGINES = Registry("cluster engine")
+
+
+def sync_policy_options(
+    sync: str,
+    staleness: Optional[int] = None,
+    sync_period: Optional[int] = None,
+) -> Dict[str, int]:
+    """Factory kwargs for the named sync policy from the generic CLI/scenario knobs."""
+    resolved = SYNC_POLICIES.resolve(sync)
+    options: Dict[str, int] = {}
+    if resolved == "bounded-staleness" and staleness is not None:
+        options["staleness"] = int(staleness)
+    if resolved == "local-sgd" and sync_period is not None:
+        options["sync_period"] = int(sync_period)
+    return options
+
+
+@ENGINES.register("lockstep", aliases=("sync", "bsp"))
+def _build_lockstep(
+    cluster: SimCluster,
+    train_config: TrainConfig,
+    scenario: Optional[str] = None,
+    sync: str = "allreduce-barrier",
+    staleness: Optional[int] = None,
+    sync_period: Optional[int] = None,
+    failures: Optional[FailureSpec] = None,
+    record_events: bool = False,
+) -> ClusterEngine:
+    if SYNC_POLICIES.resolve(sync) != "allreduce-barrier":
+        raise ValueError(
+            f"the lockstep engine only implements the 'allreduce-barrier' sync "
+            f"policy (got {sync!r}); select the event-driven backend with "
+            f"engine='async'"
+        )
+    if failures is not None:
+        raise ValueError(
+            "transient failures require the event-driven backend (engine='async')"
+        )
+    return ClusterEngine(cluster, train_config, scenario=scenario)
+
+
+@ENGINES.register("async", aliases=("event", "event-driven"))
+def _build_async(
+    cluster: SimCluster,
+    train_config: TrainConfig,
+    scenario: Optional[str] = None,
+    sync: str = "allreduce-barrier",
+    staleness: Optional[int] = None,
+    sync_period: Optional[int] = None,
+    failures: Optional[FailureSpec] = None,
+    record_events: bool = False,
+) -> AsyncClusterEngine:
+    return AsyncClusterEngine(
+        cluster,
+        train_config,
+        scenario=scenario,
+        sync=sync,
+        sync_options=sync_policy_options(sync, staleness, sync_period),
+        failures=failures,
+        record_events=record_events,
+    )
+
+
+def build_engine(
+    name: str,
+    cluster: SimCluster,
+    train_config: TrainConfig,
+    **kwargs,
+) -> Union[ClusterEngine, AsyncClusterEngine]:
+    """Build a registered cluster engine by name (see :data:`ENGINES`)."""
+    return ENGINES.build(name, cluster, train_config, **kwargs)

@@ -19,9 +19,14 @@ it is given; *this* module decides what the named pipelines are made of:
 Each builder assembles, per trainer, a
 :class:`~repro.features.store.FeatureStore` (sources resolved by name through
 :data:`repro.features.FEATURE_SOURCES`), the four chained stages, and a
-*timing policy* mapping component costs onto the trainer's simulated clock.
-Pipelines are registered in :data:`PIPELINES`, so new strategies plug in
-without touching the engine.
+*timing policy* (:data:`TIMING_POLICIES`) mapping component costs onto the
+trainer's simulated clock.  Pipelines are registered in :data:`PIPELINES`,
+so new strategies plug in without touching any engine — the same builders
+serve the single-run :class:`~repro.training.engine.TrainingEngine`, the
+lockstep :class:`~repro.training.cluster_engine.ClusterEngine`, and the
+event-driven :class:`~repro.training.async_engine.AsyncClusterEngine`
+(selected from :data:`~repro.training.engines.ENGINES`), which is what keeps
+their numerics differentially testable against each other.
 """
 
 from __future__ import annotations

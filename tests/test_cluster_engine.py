@@ -200,13 +200,17 @@ class TestHeterogeneousCluster:
 class TestScenarioRegistry:
     def test_registered_names(self):
         assert available_scenarios() == [
-            "cache-churn", "hot-halo", "hot-set-drift",
-            "skewed-partitions", "straggler-machine", "uniform",
+            "async-staleness", "cache-churn", "congested-link", "hot-halo",
+            "hot-set-drift", "skewed-partitions", "straggler-machine",
+            "trainer-flaky", "uniform",
         ]
         assert "nominal" in SCENARIOS       # alias
         assert "straggler" in SCENARIOS     # alias
         assert "drift" in SCENARIOS         # alias
         assert "churn" in SCENARIOS         # alias
+        assert "staleness" in SCENARIOS     # alias
+        assert "flaky" in SCENARIOS         # alias
+        assert "congestion" in SCENARIOS    # alias
 
     def test_unknown_scenario_lists_valid_names(self):
         with pytest.raises(ValueError, match="unknown scenario"):

@@ -1,0 +1,82 @@
+"""Tier-1 docs health: links resolve, anchors exist, scenario catalog in sync.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``)
+in-process, so a broken docs link or a scenario-registry change without a
+regenerated ``docs/SCENARIOS.md`` fails the ordinary test suite too, not just
+the dedicated CI job.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+class TestDocsHealth:
+    def test_no_broken_links_or_anchors(self):
+        problems = check_docs.check_links()
+        assert problems == []
+
+    def test_scenario_catalog_in_sync(self):
+        problems = check_docs.check_catalog()
+        assert problems == []
+
+    def test_required_docs_exist(self):
+        for name in ("ARCHITECTURE.md", "EXTENDING.md", "PAPER_MAP.md", "SCENARIOS.md"):
+            assert (REPO_ROOT / "docs" / name).exists(), name
+
+    def test_paper_map_covers_every_fig_and_table_bench(self):
+        """Every bench_fig*/bench_table* script must appear in PAPER_MAP.md."""
+        paper_map = (REPO_ROOT / "docs" / "PAPER_MAP.md").read_text()
+        benches = sorted((REPO_ROOT / "benchmarks").glob("bench_fig*.py"))
+        benches += sorted((REPO_ROOT / "benchmarks").glob("bench_table*.py"))
+        missing = [b.name for b in benches if b.name not in paper_map]
+        assert missing == [], f"PAPER_MAP.md is missing {missing}"
+
+    def test_catalog_lists_every_scenario(self):
+        src = REPO_ROOT / "src"
+        sys.path.insert(0, str(src))
+        try:
+            from repro.scenarios import available_scenarios
+        finally:
+            sys.path.pop(0)
+        catalog = (REPO_ROOT / "docs" / "SCENARIOS.md").read_text()
+        missing = [n for n in available_scenarios() if f"`{n}`" not in catalog]
+        assert missing == []
+
+
+class TestCheckerCatchesProblems:
+    """The checker itself must detect what it claims to (meta-tests)."""
+
+    def test_slugging_matches_github_rules(self):
+        assert check_docs.github_slug("Layer diagram") == "layer-diagram"
+        assert check_docs.github_slug("Fig. 6 — results!") == "fig-6--results"
+        assert check_docs.github_slug("`code` heading") == "code-heading"
+
+    def test_broken_link_detected(self, tmp_path, monkeypatch):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (tmp_path / "README.md").write_text("[gone](docs/NOPE.md)\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems = check_docs.check_links()
+        assert len(problems) == 1 and "NOPE.md" in problems[0]
+
+    def test_missing_anchor_detected(self, tmp_path, monkeypatch):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "A.md").write_text("# Real heading\n[x](#not-a-heading)\n")
+        (tmp_path / "README.md").write_text("ok\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems = check_docs.check_links()
+        assert len(problems) == 1 and "not-a-heading" in problems[0]
+
+    def test_links_inside_code_fences_ignored(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "```bash\ncat [not-a-link](missing.md)\n```\n"
+        )
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        assert check_docs.check_links() == []

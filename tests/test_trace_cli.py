@@ -139,3 +139,77 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "optimal:" in out
+
+
+class TestAsyncEngineCLI:
+    """CLI coverage for the event-driven backend and the scenario catalog."""
+
+    def test_scenarios_markdown(self, capsys):
+        assert main(["scenarios", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<!-- Generated by `repro scenarios --markdown`")
+        assert "| `trainer-flaky` |" in out and "bounded-staleness(K=3)" in out
+
+    def test_scenarios_plain_lists_execution(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "execution" in out and "async · local-sgd(H=4)" in out
+
+    def test_engine_async_implies_cluster(self, capsys):
+        code = main([
+            "run", "--engine", "async", "--sync", "bounded-staleness",
+            "--staleness", "2", "--scale", "0.05", "--epochs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'uniform'" in out
+        assert "execution=async · bounded-staleness(K=2)" in out
+        assert "async sync: policy bounded-staleness(K=2)" in out
+
+    def test_sync_flag_alone_selects_async_backend(self, capsys):
+        code = main([
+            "run", "--sync", "local-sgd", "--sync-period", "2",
+            "--scale", "0.05", "--epochs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "async sync: policy local-sgd(H=2)" in out
+
+    def test_flaky_scenario_reports_failures(self, capsys):
+        code = main([
+            "run", "--cluster", "--scenario", "trainer-flaky",
+            "--scale", "0.05", "--epochs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failures" in out and "downtime" in out
+
+    def test_lockstep_engine_rejects_async_sync(self, capsys):
+        code = main([
+            "run", "--engine", "lockstep", "--sync", "bounded-staleness",
+            "--scale", "0.05", "--epochs", "1",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "event-driven" in err
+
+    def test_staleness_without_matching_sync_rejected(self, capsys):
+        code = main(["run", "--staleness", "3", "--scale", "0.05", "--epochs", "1"])
+        assert code == 2
+        assert "--sync bounded-staleness" in capsys.readouterr().err
+
+    def test_sync_period_on_staleness_scenario_rejected(self, capsys):
+        code = main([
+            "run", "--cluster", "--scenario", "async-staleness",
+            "--sync-period", "2", "--scale", "0.05", "--epochs", "1",
+        ])
+        assert code == 2
+        assert "--sync local-sgd" in capsys.readouterr().err
+
+    def test_staleness_applies_on_staleness_scenario(self, capsys):
+        code = main([
+            "run", "--cluster", "--scenario", "async-staleness",
+            "--staleness", "4", "--scale", "0.05", "--epochs", "1",
+        ])
+        assert code == 0
+        assert "bounded-staleness(K=4)" in capsys.readouterr().out

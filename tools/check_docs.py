@@ -1,0 +1,157 @@
+"""Docs health checker: link/anchor validation + scenario-catalog drift.
+
+Two checks, runnable independently or together (both by default):
+
+* ``--links`` — every relative link and image in ``docs/*.md`` and
+  ``README.md`` must point at a file that exists in the repository, and every
+  intra-document anchor (``[...](#section)`` or ``FILE.md#section``) must
+  match a heading in the target document (GitHub slug rules: lowercase,
+  punctuation stripped, spaces to dashes).  External ``http(s)://`` links are
+  not fetched — CI must stay hermetic.
+* ``--catalog`` — ``docs/SCENARIOS.md`` must equal the output of
+  ``repro scenarios --markdown`` exactly; a mismatch means the scenario
+  registry changed without the committed catalog being regenerated.
+
+Run::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit code 0 when clean; 1 with a per-finding report otherwise.  Wired into
+the CI ``docs`` job and, in-process, into ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images is unnecessary: image targets are files too.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (lowercase, punctuation out, dashes)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def markdown_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+@functools.lru_cache(maxsize=None)
+def headings_of(path: Path) -> "tuple[str, ...]":
+    """Heading slugs of *path* (cached: documents are anchor-checked per link)."""
+    slugs: List[str] = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.append(github_slug(match.group(2)))
+    return tuple(slugs)
+
+
+def links_of(path: Path) -> List[str]:
+    links: List[str] = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(_LINK_RE.findall(line))
+    return links
+
+
+def check_links() -> List[str]:
+    """Broken relative links/anchors across README.md and docs/*.md."""
+    problems: List[str] = []
+    for doc in markdown_files():
+        for target in links_of(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            rel = doc.relative_to(REPO_ROOT)
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(f"{rel}: broken link -> {target}")
+                    continue
+                anchor_doc = resolved
+            else:
+                anchor_doc = doc  # pure intra-document anchor
+            if anchor and anchor_doc.suffix == ".md":
+                if github_slug(anchor) not in headings_of(anchor_doc):
+                    problems.append(
+                        f"{rel}: missing anchor #{anchor} in {anchor_doc.name}"
+                    )
+    return problems
+
+
+def check_catalog() -> List[str]:
+    """docs/SCENARIOS.md must match `repro scenarios --markdown` exactly."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.scenarios import catalog_markdown
+    finally:
+        sys.path.pop(0)
+    committed_path = REPO_ROOT / "docs" / "SCENARIOS.md"
+    if not committed_path.exists():
+        return ["docs/SCENARIOS.md is missing; generate it with "
+                "`PYTHONPATH=src python -m repro scenarios --markdown > docs/SCENARIOS.md`"]
+    committed = committed_path.read_text()
+    fresh = catalog_markdown() + "\n"
+    if committed != fresh:
+        return ["docs/SCENARIOS.md drifted from the scenario registry; regenerate "
+                "with `PYTHONPATH=src python -m repro scenarios --markdown > "
+                "docs/SCENARIOS.md` and commit it with the scenario change"]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true", help="run only the link check")
+    parser.add_argument("--catalog", action="store_true",
+                        help="run only the scenario-catalog drift check")
+    args = parser.parse_args(argv)
+    run_links = args.links or not args.catalog
+    run_catalog = args.catalog or not args.links
+
+    problems: List[Tuple[str, str]] = []
+    if run_links:
+        problems += [("links", p) for p in check_links()]
+    if run_catalog:
+        problems += [("catalog", p) for p in check_catalog()]
+
+    if problems:
+        for kind, message in problems:
+            print(f"[{kind}] {message}", file=sys.stderr)
+        print(f"FAIL: {len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    checked = len(markdown_files()) if run_links else 0
+    print(f"docs ok ({checked} markdown files link-checked"
+          f"{', catalog in sync' if run_catalog else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
