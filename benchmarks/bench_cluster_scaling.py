@@ -23,7 +23,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.common import save_table
-from repro.scenarios import available_scenarios, build_scenario
+from repro.scenarios import build_scenario, training_scenarios
 from repro.training.config import TrainConfig
 
 MACHINES = (2, 4)
@@ -33,7 +33,9 @@ MACHINES = (2, 4)
 def test_cluster_scaling_scenarios(benchmark, bench_scale, bench_epochs):
     def run_grid():
         out = {}
-        for name in available_scenarios():
+        # Serving scenarios return latency reports, not ClusterReports; the
+        # serving curve lives in bench_serving.py.
+        for name in training_scenarios():
             for machines in MACHINES:
                 workload = build_scenario(
                     name,

@@ -68,7 +68,8 @@ def _get(tree: dict, path: str):
 
 def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
                reduction_abs: float, hit_abs: float, min_hit_gain: float,
-               min_async_reduction: float = 0.5) -> List[Check]:
+               min_async_reduction: float = 0.5,
+               latency_ratio: float = 1.05) -> List[Check]:
     checks: List[Check] = []
 
     # ---- sampler speedup: machine-dependent, wide band + hard floor ----
@@ -154,6 +155,40 @@ def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
                 now >= threshold,
                 "simulated-time ratio: identical config must reproduce the reduction",
             ))
+
+    # ---- serving: simulated latencies, deterministic, tight band ----
+    exceeds = _get(fresh, "serving.flash_crowd.p99_exceeds_steady")
+    if exceeds is not None:
+        checks.append(Check(
+            "serving.flash_crowd_p99_exceeds_steady", None,
+            1.0 if exceeds else 0.0, 1.0, bool(exceeds),
+            "hard invariant: burst queueing must push the p99 tail above the "
+            "steady stream's at the same average rate",
+        ))
+    slo_rate = _get(fresh, "serving.slo.violation_rate_at_base_load")
+    slo_max = _get(fresh, "serving.slo.max_allowed")
+    if slo_rate is not None and slo_max is not None:
+        checks.append(Check(
+            "serving.slo_violation_rate_at_base_load", None, slo_rate, slo_max,
+            slo_rate <= slo_max,
+            "hard ceiling: the steady stream at base load must meet its declared SLO",
+        ))
+    base_curve = {p.get("load_factor"): p
+                  for p in (_get(baseline, "serving.latency_curve") or [])}
+    fresh_curve = {p.get("load_factor"): p
+                   for p in (_get(fresh, "serving.latency_curve") or [])}
+    for factor in sorted(set(base_curve) & set(fresh_curve)):
+        base_p99 = base_curve[factor].get("p99_ms")
+        now_p99 = fresh_curve[factor].get("p99_ms")
+        if base_p99 is None or now_p99 is None:
+            continue
+        threshold = base_p99 * latency_ratio
+        checks.append(Check(
+            f"serving.p99_ms_at_load_x{factor:g}", base_p99, now_p99, threshold,
+            now_p99 <= threshold,
+            "simulated latency, deterministic at fixed seed/config; growth past "
+            "the band is a real hot-path regression",
+        ))
     return checks
 
 
@@ -170,6 +205,8 @@ def report_only_metrics(fresh: dict) -> dict:
         "async_sync.straggler.staleness_curve": _get(
             fresh, "async_sync.straggler.staleness_curve"
         ),
+        "serving.latency_curve": _get(fresh, "serving.latency_curve"),
+        "serving.diurnal.phase_p99_ms": _get(fresh, "serving.diurnal.phase_p99_ms"),
     }
 
 
@@ -193,6 +230,9 @@ def main(argv=None) -> int:
     parser.add_argument("--min-async-reduction", type=float, default=0.5,
                         help="hard floor (percent) for bounded-staleness "
                              "critical-path reduction on the straggler scenario")
+    parser.add_argument("--latency-tolerance", type=float, default=1.05,
+                        help="fresh serving p99 at each load point must stay within "
+                             "this multiple of the baseline's")
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -209,6 +249,7 @@ def main(argv=None) -> int:
         hit_abs=args.hit_tolerance,
         min_hit_gain=args.min_hit_gain,
         min_async_reduction=args.min_async_reduction,
+        latency_ratio=args.latency_tolerance,
     )
     failed = [c for c in checks if not c.passed]
     for check in checks:

@@ -20,15 +20,17 @@ Run with:  python examples/cluster_training.py
 from __future__ import annotations
 
 from repro import TrainConfig, available_scenarios, build_scenario
+from repro.scenarios import training_scenarios
 from repro.utils.logging_utils import format_table
 
 
 def main() -> None:
     print("Registered cluster scenarios:", ", ".join(available_scenarios()))
+    print("(serving scenarios run through `repro serve` — see examples/serving.py)")
 
     rows = []
     reports = {}
-    for name in available_scenarios():
+    for name in training_scenarios():
         workload = build_scenario(
             name,
             seed=0,

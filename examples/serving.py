@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Online inference serving: an open-loop request stream on the event loop.
+
+A trained GNN does not retire when training ends — it serves. This example
+runs the serving subsystem end to end:
+
+1. materialize the ``steady-poisson`` scenario: the training cluster's
+   partitions, tiered feature cache, and batched RPC, repurposed as a serving
+   fleet (one worker per trainer context, requests routed to the partition
+   that owns the requesting user);
+2. serve a seeded Poisson request stream — each request samples the user's
+   ego-net, fetches features through the cache, and runs a forward-only pass,
+   all on the discrete event loop, so queue wait is measured rather than
+   assumed;
+3. print the latency ledger a serving system is judged by (p50/p95/p99,
+   SLO-violation rate, per-tier cache hit rates), then rerun the same stream
+   as a flash crowd to watch queueing push the p99 tail out.
+
+Run with:  python examples/serving.py
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import SCENARIOS, serving_scenarios
+from repro.utils.logging_utils import format_table
+
+SCALE = 0.05
+REQUESTS = 192
+SEED = 0
+
+
+def run(name: str, **spec_overrides):
+    scenario = SCENARIOS.build(name)
+    spec = scenario.serving.with_overrides(num_requests=REQUESTS, **spec_overrides)
+    workload = scenario.with_overrides(scale=SCALE, serving=spec).materialize(seed=SEED)
+    return workload.run()
+
+
+def main() -> None:
+    print("Serving scenarios:", ", ".join(serving_scenarios()))
+
+    # ---- 1+2: the steady Poisson stream --------------------------------
+    report = run("steady-poisson")
+    print(f"\n[{report.scenario}] {report.arrival}: served {report.completed} "
+          f"requests in {report.duration_s:.4f}s simulated "
+          f"(cache warm-up {report.warmup_time_s:.4f}s, off the timeline)")
+
+    rows = [
+        [w.global_rank, w.machine, w.requests, f"{w.busy_time_s:.4f}",
+         f"{w.hit_rate:.3f}" if w.hit_rate is not None else "-"]
+        for w in report.worker_stats
+    ]
+    print(format_table(["worker", "machine", "requests", "busy s", "hit rate"], rows))
+
+    # ---- 3: the latency ledger -----------------------------------------
+    latency = report.latency_ms()
+    print(f"\nlatency ms: p50 {latency['p50']:.3f}  p95 {latency['p95']:.3f}  "
+          f"p99 {latency['p99']:.3f}  (mean {latency['mean']:.3f})")
+    print("where the time goes (p95 per component, ms):")
+    for name, summary in report.component_ms().items():
+        print(f"  {name:<11s} {summary['p95']:.3f}")
+    print(f"SLO {report.slo_ms:g} ms: {report.slo_violations} violations "
+          f"({report.slo_violation_rate:.1%})")
+    tiers = ", ".join(f"{k} {v:.3f}" for k, v in sorted(report.mean_tier_hit_rates().items()))
+    print(f"cache tiers (hit rate): {tiers}")
+
+    # ---- the same load as a flash crowd --------------------------------
+    flash = run("flash-crowd-burst")
+    steady_p99 = latency["p99"]
+    flash_p99 = flash.latency_ms()["p99"]
+    print(f"\n[{flash.scenario}] same average rate, 30% of requests in a 5% window:")
+    print(f"  p99 {flash_p99:.3f} ms vs steady {steady_p99:.3f} ms "
+          f"({flash_p99 / steady_p99:.1f}x), SLO violations "
+          f"{flash.slo_violation_rate:.1%} (steady {report.slo_violation_rate:.1%})")
+    for phase, summary in flash.phase_latency_ms().items():
+        print(f"  {phase:<7s} phase p99 {summary['p99']:.3f} ms")
+    print("\nOpen-loop arrivals never wait for completions, so the burst's queue "
+          "wait lands in the ledger instead of silently stretching the stream.")
+
+
+if __name__ == "__main__":
+    main()

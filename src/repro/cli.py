@@ -20,6 +20,13 @@ Commands
     List the registered cluster scenarios and their deployment notes;
     ``--markdown`` emits the ``docs/SCENARIOS.md`` catalog instead (CI
     regenerates it and fails on drift).
+``serve``
+    Run an online-inference serving scenario (``steady-poisson``,
+    ``diurnal-cache-drift``, ``flash-crowd-burst``) through the event-driven
+    :class:`~repro.serving.engine.InferenceClusterEngine` and print the
+    latency/SLO/cache report.  ``repro run --cluster --scenario <serving
+    scenario>`` routes here too, so the CI smoke matrix runs one command
+    shape for every scenario.
 ``sweep``
     Grid-search (f_h, γ, Δ) and print the Table IV-style optimum.
 
@@ -47,9 +54,16 @@ from repro.distributed.rpc import RPC_CHANNELS
 from repro.events.sync import SYNC_POLICIES
 from repro.graph.datasets import available_datasets, load_dataset
 from repro.sampling.neighbor_sampler import SAMPLERS
-from repro.scenarios import SCENARIOS, available_scenarios, catalog_markdown
+from repro.scenarios import (
+    SCENARIOS,
+    available_scenarios,
+    catalog_markdown,
+    serving_scenarios,
+)
+from repro.serving import ARRIVALS
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
+from repro.training.engines import ENGINES
 from repro.training.engines import ENGINES
 from repro.training.pipelines import PIPELINES
 from repro.training.sweep import find_optimal, run_parameter_sweep
@@ -188,6 +202,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--evaluate", action="store_true", help="score validation/test accuracy")
     run.add_argument("--trace-dir", type=Path, default=None, help="write JSON traces here")
+
+    serve = sub.add_parser("serve", help="run an online-inference serving scenario")
+    serve.add_argument(
+        "--scenario", default=None, choices=available_scenarios(),
+        help="serving scenario to run (default: steady-poisson); training "
+             "scenarios are rejected — see the Execution column of `repro scenarios`",
+    )
+    serve.add_argument(
+        "--arrival", default=None, choices=ARRIVALS.names(),
+        help="override the scenario's arrival process (see repro.serving.ARRIVALS)",
+    )
+    serve.add_argument("--requests", type=int, default=None,
+                       help="number of requests to serve (default: the scenario's)")
+    serve.add_argument("--rate", type=float, default=None, dest="rate",
+                       help="offered load in requests/s (default: the scenario's)")
+    serve.add_argument("--slo-ms", type=float, default=None, dest="slo_ms",
+                       help="latency SLO in milliseconds (default: the scenario's)")
+    serve.add_argument("--scale", type=float, default=None,
+                       help="dataset scale multiplier (default: the scenario's)")
+    serve.add_argument("--machines", type=int, default=None,
+                       help="simulated machines (default: the scenario's)")
+    serve.add_argument("--trainers-per-machine", type=int, default=None,
+                       help="serving workers per machine (default: the scenario's)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trace-dir", type=Path, default=None,
+                       help="write the full ServingReport JSON here")
 
     sweep = sub.add_parser("sweep", help="grid-search the prefetch parameters")
     sweep.add_argument("--dataset", default="products", choices=available_datasets())
@@ -375,6 +415,20 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
         prefetch_config = dataclasses.replace(
             scenario.prefetch_config or PrefetchConfig(), **prefetch_tuning
         )
+    if ENGINES.resolve(scenario.engine) == "serving":
+        # Serving scenarios share this command shape (one CI smoke command for
+        # every scenario) but report latency/SLO, not epochs — delegate.
+        cache_config = _build_cache_config(args)
+        pipeline = args.pipeline
+        if pipeline is None and cache_config is not None:
+            pipeline = "tiered-cache"
+        if _reject_cacheless_pipeline(pipeline, cache_config):
+            return 2
+        return _run_serving(
+            scenario, seed=args.seed, trace_dir=args.trace_dir,
+            pipeline=pipeline, prefetch_config=prefetch_config,
+            cache_config=cache_config,
+        )
     try:
         workload = scenario.materialize(
             seed=args.seed,
@@ -455,6 +509,104 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
             json.dump(report.as_dict(), fh, indent=2)
         print(f"\ncluster trace written to {path}")
     return 0
+
+
+def _run_serving(
+    scenario,
+    seed: int,
+    trace_dir: Optional[Path] = None,
+    pipeline: Optional[str] = None,
+    prefetch_config: Optional[PrefetchConfig] = None,
+    cache_config: Optional[CacheConfig] = None,
+) -> int:
+    """Materialize and run a serving scenario; print the latency/SLO report.
+
+    Shared by ``repro serve`` and the serving branch of ``repro run
+    --cluster`` so both command shapes print the same tables.
+    """
+    try:
+        workload = scenario.materialize(seed=seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"scenario '{scenario.name}': {scenario.description}")
+    print(f"dataset={scenario.dataset} scale={scenario.scale} "
+          f"machines={scenario.num_machines} trainers/machine={scenario.trainers_per_machine} "
+          f"partitioning={scenario.partition_method} execution={scenario.execution}\n")
+    report = workload.run(
+        pipeline=pipeline, prefetch_config=prefetch_config, cache_config=cache_config
+    )
+
+    rows = [
+        [w.global_rank, w.machine, w.requests, f"{w.busy_time_s:.4f}",
+         f"{w.hit_rate:.3f}" if w.hit_rate is not None else "-",
+         int(w.rpc_stats.get("bytes_fetched", 0))]
+        for w in report.worker_stats
+    ]
+    print(format_table(
+        ["rank", "machine", "requests", "busy s", "hit rate", "rpc bytes"], rows
+    ))
+    latency = report.latency_ms()
+    print(
+        f"\n[serving] {report.arrival}: {report.completed}/{report.num_requests} "
+        f"requests, throughput {report.throughput_rps:.1f} rps "
+        f"(offered {report.offered_rate_rps:g}), duration {report.duration_s:.4f}s, "
+        f"warmup {report.warmup_time_s:.4f}s"
+    )
+    print(f"latency ms: p50 {latency['p50']:.3f}, p95 {latency['p95']:.3f}, "
+          f"p99 {latency['p99']:.3f}, max {latency['max']:.3f} "
+          f"(mean {latency['mean']:.3f})")
+    print("p95 component ms: " + ", ".join(
+        f"{name} {summary['p95']:.3f}"
+        for name, summary in report.component_ms().items()
+    ))
+    print(f"SLO {report.slo_ms:g} ms: {report.slo_violations} violations "
+          f"({report.slo_violation_rate:.1%}), "
+          f"mean utilization {report.mean_utilization:.3f}")
+    tier_rates = report.mean_tier_hit_rates()
+    if tier_rates:
+        per_tier = ", ".join(f"{name} {rate:.3f}" for name, rate in sorted(tier_rates.items()))
+        print(f"cache tiers: {per_tier}")
+    phase_split = report.phase_latency_ms()
+    if phase_split:
+        per_phase = ", ".join(f"{name} {summary['p99']:.3f}"
+                              for name, summary in phase_split.items())
+        print(f"phase p99 ms: {per_phase}")
+
+    if trace_dir is not None:
+        import json
+
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        path = trace_dir / f"serving_{scenario.name}.json"
+        with open(path, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+        print(f"\nserving trace written to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve --scenario <name>``: online-inference serving run."""
+    name = args.scenario or "steady-poisson"
+    scenario = SCENARIOS.build(name)
+    if ENGINES.resolve(scenario.engine) != "serving":
+        serving_names = ", ".join(serving_scenarios())
+        print(f"error: scenario {scenario.name!r} is a training workload — run it "
+              f"with `repro run --cluster --scenario {scenario.name}`; serving "
+              f"scenarios: {serving_names}", file=sys.stderr)
+        return 2
+    try:
+        spec = scenario.serving.with_overrides(
+            arrival=args.arrival, num_requests=args.requests,
+            rate_rps=args.rate, slo_ms=args.slo_ms,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scenario = scenario.with_overrides(
+        scale=args.scale, num_machines=args.machines,
+        trainers_per_machine=args.trainers_per_machine, serving=spec,
+    )
+    return _run_serving(scenario, seed=args.seed, trace_dir=args.trace_dir)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -601,6 +753,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_scenarios(markdown=args.markdown)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -6,7 +6,10 @@ of a training step advance the clock and tag the time with a component label
 ``eviction``, ``allreduce``, ``stall``, ``downtime``) so that the Fig. 9
 style breakdowns can be regenerated exactly from the recorded ledger
 (``downtime`` is the transient-failure outage the event-driven engine's
-``trainer-flaky`` scenario injects).
+``trainer-flaky`` scenario injects).  The serving engine adds two labels of
+its own: ``compute`` (forward-only inference, distinct from training's
+``ddp``) and ``idle`` (a worker waiting for the next request to arrive —
+wall time on the serving timeline, but not work).
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ KNOWN_COMPONENTS = (
     "downtime",
     "init",
     "other",
+    "compute",
+    "idle",
 )
 
 

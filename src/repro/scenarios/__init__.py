@@ -16,10 +16,14 @@ pipelines and eviction policies are selected everywhere else in the package::
 The shipped library (:mod:`repro.scenarios.library`) spans the deployment
 axes of the paper's evaluation (``uniform``, ``skewed-partitions``,
 ``straggler-machine``, ``hot-halo``), the cache-stress workloads
-(``hot-set-drift``, ``cache-churn``), and the event-driven workloads only the
+(``hot-set-drift``, ``cache-churn``), the event-driven workloads only the
 async backend can express (``async-staleness``, ``trainer-flaky``,
-``congested-link``).  The rendered catalog lives in ``docs/SCENARIOS.md``
-(regenerate with ``repro scenarios --markdown``; CI drift-checks it).
+``congested-link``), and the online-inference serving streams
+(``steady-poisson``, ``diurnal-cache-drift``, ``flash-crowd-burst``) that run
+through ``repro serve`` and return a
+:class:`~repro.serving.report.ServingReport`.  The rendered catalog lives in
+``docs/SCENARIOS.md`` (regenerate with ``repro scenarios --markdown``; CI
+drift-checks it).
 """
 
 from repro.scenarios.catalog import catalog_markdown
@@ -29,6 +33,8 @@ from repro.scenarios.registry import (
     ClusterWorkload,
     available_scenarios,
     build_scenario,
+    serving_scenarios,
+    training_scenarios,
 )
 from repro.scenarios import library as _library  # noqa: F401  (registers the scenarios)
 
@@ -39,4 +45,6 @@ __all__ = [
     "available_scenarios",
     "build_scenario",
     "catalog_markdown",
+    "serving_scenarios",
+    "training_scenarios",
 ]

@@ -11,6 +11,7 @@ from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
 from repro.events.schedule import CongestionSpec, FailureSpec
 from repro.graph.datasets import GraphDataset, load_dataset
+from repro.serving.arrivals import ServingSpec
 from repro.training.cluster_engine import ClusterReport
 from repro.training.config import TrainConfig
 from repro.training.engines import ENGINES
@@ -70,6 +71,9 @@ class ClusterScenario:
     # time-varying RPC congestion profile (repro.events.schedule).
     failures: Optional[FailureSpec] = None
     congestion: Optional[CongestionSpec] = None
+    # Online-inference workload (engine="serving" only): the arrival process,
+    # SLO, and popularity skew of the request stream (repro.serving.arrivals).
+    serving: Optional[ServingSpec] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -80,6 +84,9 @@ class ClusterScenario:
         engine = ENGINES.resolve(self.engine)
         if engine == "lockstep":
             return "lockstep"
+        if engine == "serving":
+            arrival = self.serving.describe() if self.serving is not None else "no stream"
+            return f"serving · {arrival}"
         sync = SYNC_POLICIES.resolve(self.sync)
         if sync == "bounded-staleness":
             sync = f"bounded-staleness(K={self.staleness})"
@@ -151,6 +158,7 @@ class ClusterScenario:
             staleness=self.staleness,
             sync_period=self.sync_period,
             failures=self.failures,
+            serving=self.serving,
         )
         return ClusterWorkload(scenario=self, dataset=dataset, cluster=cluster, engine=engine)
 
@@ -160,8 +168,10 @@ class ClusterWorkload:
     """A materialized scenario, ready to run.
 
     ``engine`` is whichever backend the scenario selected from
-    :data:`~repro.training.engines.ENGINES` (lockstep or event-driven); both
-    expose the same ``run(pipeline, ...) -> ClusterReport`` contract.
+    :data:`~repro.training.engines.ENGINES`; all three expose the same
+    ``run(pipeline, ...)`` contract — the training backends return a
+    :class:`~repro.training.cluster_engine.ClusterReport`, the serving
+    backend a :class:`~repro.serving.report.ServingReport`.
     """
 
     scenario: ClusterScenario
@@ -175,7 +185,7 @@ class ClusterWorkload:
         prefetch_config: Optional[PrefetchConfig] = None,
         eviction_policy=None,
         cache_config: Optional[CacheConfig] = None,
-    ) -> ClusterReport:
+    ) -> "ClusterReport":
         """Execute the scenario's pipeline; explicit arguments override the recipe."""
         name = pipeline or self.scenario.pipeline
         prefetch = prefetch_config or self.scenario.prefetch_config
@@ -190,9 +200,30 @@ class ClusterWorkload:
         )
 
 
-def available_scenarios() -> list:
-    """Sorted names of the registered scenarios."""
-    return SCENARIOS.names()
+def available_scenarios(engine: Optional[str] = None) -> list:
+    """Sorted names of the registered scenarios.
+
+    ``engine`` filters by resolved execution backend (``"lockstep"``,
+    ``"async"``, ``"serving"``, or any :data:`~repro.training.engines.ENGINES`
+    alias); ``None`` returns everything.
+    """
+    names = SCENARIOS.names()
+    if engine is None:
+        return names
+    resolved = ENGINES.resolve(engine)
+    return [n for n in names
+            if ENGINES.resolve(SCENARIOS.build(n).engine) == resolved]
+
+
+def serving_scenarios() -> list:
+    """Names of the scenarios that run the online-inference serving engine."""
+    return available_scenarios(engine="serving")
+
+
+def training_scenarios() -> list:
+    """Names of the scenarios that train (lockstep or async backend)."""
+    serving = set(serving_scenarios())
+    return [n for n in SCENARIOS.names() if n not in serving]
 
 
 def build_scenario(name: str, seed: int = 0, train_config: Optional[TrainConfig] = None,

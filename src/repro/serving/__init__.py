@@ -1,0 +1,27 @@
+"""Online inference serving on the simulated cluster.
+
+The serving subsystem turns the training stack's sampler/RPC/cache machinery
+into a request-driven product surface: seeded arrival processes
+(:data:`~repro.serving.arrivals.ARRIVALS`) feed an event-driven
+:class:`~repro.serving.engine.InferenceClusterEngine` whose per-request
+latency ledgers roll up into a :class:`~repro.serving.report.ServingReport`.
+Exposed through the ``serving`` entry of
+:data:`~repro.training.engines.ENGINES`, the ``steady-poisson`` /
+``diurnal-cache-drift`` / ``flash-crowd-burst`` scenarios, and the
+``repro serve`` CLI command.
+"""
+
+from repro.serving.arrivals import ARRIVALS, PHASE_LABELS, ServingSpec, build_arrivals
+from repro.serving.engine import InferenceClusterEngine
+from repro.serving.report import RequestRecord, ServingReport, WorkerServeStats
+
+__all__ = [
+    "ARRIVALS",
+    "PHASE_LABELS",
+    "ServingSpec",
+    "build_arrivals",
+    "InferenceClusterEngine",
+    "RequestRecord",
+    "ServingReport",
+    "WorkerServeStats",
+]

@@ -56,7 +56,12 @@ from repro.training.engine import (
     train_step,
 )
 from repro.training.pipelines import PIPELINES
-from repro.training.telemetry import ComponentAccumulator, EpochRecord, TrainingReport
+from repro.training.telemetry import (
+    ComponentAccumulator,
+    EpochRecord,
+    TrainingReport,
+    percentile_summary,
+)
 from repro.utils.rng import derive_seed
 
 
@@ -209,6 +214,15 @@ class ClusterReport:
             out[t.machine] = max(out.get(t.machine, 0.0), t.simulated_time_s)
         return out
 
+    def busy_time_percentiles(self) -> Dict[str, float]:
+        """Spread of per-trainer busy time (p50/p95/p99/mean/max seconds).
+
+        Shares :func:`~repro.training.telemetry.percentile_summary` with the
+        serving report, so training-side straggler spreads and serving-side
+        latency tails are computed by the same quantile rule.
+        """
+        return percentile_summary(t.busy_time_s for t in self.trainer_stats)
+
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, object]:
         """Flat cluster-level metrics (benchmarks and the CLI table).
@@ -230,6 +244,8 @@ class ClusterReport:
             "final_train_accuracy": self.report.final_train_accuracy,
             "num_minibatches": float(self.report.num_minibatches),
         }
+        for key, value in sorted(self.busy_time_percentiles().items()):
+            out[f"busy_time.{key}"] = value
         if self.engine is not None:
             out["engine"] = self.engine
             out["sync"] = self.sync or ""

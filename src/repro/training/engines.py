@@ -1,6 +1,6 @@
 """The :data:`ENGINES` registry: cluster execution backends selected by name.
 
-Two backends ship:
+Three backends ship:
 
 * ``lockstep`` — :class:`~repro.training.cluster_engine.ClusterEngine`, the
   bulk-synchronous loop (every trainer meets every allreduce barrier);
@@ -8,17 +8,22 @@ Two backends ship:
   discrete-event backend whose gradient synchronization is a pluggable
   :class:`~repro.events.sync.SyncPolicy` (``allreduce-barrier``,
   ``bounded-staleness``, ``local-sgd``) and which supports seeded transient
-  failures.
+  failures;
+* ``serving`` — :class:`~repro.serving.engine.InferenceClusterEngine`, the
+  online-inference backend that consumes an open-loop request stream
+  (:data:`~repro.serving.arrivals.ARRIVALS`) instead of training epochs and
+  returns a :class:`~repro.serving.report.ServingReport`.
 
 Scenarios and the CLI resolve engines the same way they resolve pipelines and
 samplers — by registry key — so a new backend plugs in without touching
-either.  The ``lockstep`` factory rejects async-only knobs (a non-barrier
-sync policy, a failure schedule) instead of silently ignoring them.
+either.  Each factory rejects the knobs it cannot honour (a non-barrier sync
+policy on ``lockstep``, a ``ServingSpec`` on either training backend, a
+missing one on ``serving``) instead of silently ignoring them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.distributed.cluster import SimCluster
 from repro.events.schedule import FailureSpec
@@ -27,6 +32,10 @@ from repro.training.async_engine import AsyncClusterEngine
 from repro.training.cluster_engine import ClusterEngine
 from repro.training.config import TrainConfig
 from repro.utils.registry import Registry
+
+if TYPE_CHECKING:  # repro.serving imports this module's internals; import lazily
+    from repro.serving.arrivals import ServingSpec
+    from repro.serving.engine import InferenceClusterEngine
 
 ENGINES = Registry("cluster engine")
 
@@ -46,6 +55,14 @@ def sync_policy_options(
     return options
 
 
+def _reject_serving(serving, engine: str) -> None:
+    if serving is not None:
+        raise ValueError(
+            f"a ServingSpec only drives the serving engine (got one with "
+            f"engine={engine!r}); select it with engine='serving'"
+        )
+
+
 @ENGINES.register("lockstep", aliases=("sync", "bsp"))
 def _build_lockstep(
     cluster: SimCluster,
@@ -55,6 +72,7 @@ def _build_lockstep(
     staleness: Optional[int] = None,
     sync_period: Optional[int] = None,
     failures: Optional[FailureSpec] = None,
+    serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
 ) -> ClusterEngine:
     if SYNC_POLICIES.resolve(sync) != "allreduce-barrier":
@@ -67,6 +85,7 @@ def _build_lockstep(
         raise ValueError(
             "transient failures require the event-driven backend (engine='async')"
         )
+    _reject_serving(serving, "lockstep")
     return ClusterEngine(cluster, train_config, scenario=scenario)
 
 
@@ -79,8 +98,10 @@ def _build_async(
     staleness: Optional[int] = None,
     sync_period: Optional[int] = None,
     failures: Optional[FailureSpec] = None,
+    serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
 ) -> AsyncClusterEngine:
+    _reject_serving(serving, "async")
     return AsyncClusterEngine(
         cluster,
         train_config,
@@ -92,11 +113,46 @@ def _build_async(
     )
 
 
+@ENGINES.register("serving", aliases=("serve", "inference"))
+def _build_serving(
+    cluster: SimCluster,
+    train_config: TrainConfig,
+    scenario: Optional[str] = None,
+    sync: str = "allreduce-barrier",
+    staleness: Optional[int] = None,
+    sync_period: Optional[int] = None,
+    failures: Optional[FailureSpec] = None,
+    serving: Optional["ServingSpec"] = None,
+    record_events: bool = False,
+) -> "InferenceClusterEngine":
+    from repro.serving.engine import InferenceClusterEngine
+
+    if serving is None:
+        raise ValueError(
+            "the serving engine needs a ServingSpec (scenario field 'serving' "
+            "or ServingSpec(...) passed to build_engine)"
+        )
+    if failures is not None:
+        raise ValueError("transient failures are not modeled by the serving engine")
+    if SYNC_POLICIES.resolve(sync) != "allreduce-barrier":
+        raise ValueError(
+            "gradient sync policies do not apply to inference serving "
+            f"(got sync={sync!r})"
+        )
+    return InferenceClusterEngine(
+        cluster,
+        train_config,
+        scenario=scenario,
+        serving=serving,
+        record_events=record_events,
+    )
+
+
 def build_engine(
     name: str,
     cluster: SimCluster,
     train_config: TrainConfig,
     **kwargs,
-) -> Union[ClusterEngine, AsyncClusterEngine]:
+) -> Union[ClusterEngine, AsyncClusterEngine, "InferenceClusterEngine"]:
     """Build a registered cluster engine by name (see :data:`ENGINES`)."""
     return ENGINES.build(name, cluster, train_config, **kwargs)

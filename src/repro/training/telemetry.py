@@ -22,6 +22,32 @@ from repro.core.metrics import HitRateTracker, merge_hit_trackers
 from repro.distributed.rpc import RPCStats
 
 
+def percentile_summary(
+    values, percentiles=(50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ..., "mean": ..., "max": ...}`` of *values*.
+
+    The one quantile implementation shared by every report class —
+    :class:`~repro.training.cluster_engine.ClusterReport` per-trainer spreads
+    and the serving engine's :class:`~repro.serving.report.ServingReport`
+    latency ledger — so the interpolation rule (numpy's default linear) can
+    never drift between the training and serving halves of a benchmark.
+    Empty input yields all zeros, keeping report schemas stable.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    keys = [f"p{p:g}" for p in percentiles]
+    if arr.size == 0:
+        out = {k: 0.0 for k in keys}
+        out["mean"] = 0.0
+        out["max"] = 0.0
+        return out
+    quantiles = np.percentile(arr, list(percentiles))
+    out = {k: float(q) for k, q in zip(keys, quantiles)}
+    out["mean"] = float(arr.mean())
+    out["max"] = float(arr.max())
+    return out
+
+
 @dataclass
 class StepTiming:
     """Component times (seconds) of one minibatch step for one trainer."""

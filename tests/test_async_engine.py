@@ -306,7 +306,7 @@ class TestCongestion:
 # --------------------------------------------------------------------------- #
 class TestEnginesRegistry:
     def test_names(self):
-        assert set(ENGINES.names()) == {"lockstep", "async"}
+        assert set(ENGINES.names()) == {"lockstep", "async", "serving"}
 
     def test_lockstep_rejects_async_sync(self, dataset):
         cluster = make_cluster(dataset)

@@ -200,9 +200,13 @@ class TestHeterogeneousCluster:
 class TestScenarioRegistry:
     def test_registered_names(self):
         assert available_scenarios() == [
-            "async-staleness", "cache-churn", "congested-link", "hot-halo",
-            "hot-set-drift", "skewed-partitions", "straggler-machine",
-            "trainer-flaky", "uniform",
+            "async-staleness", "cache-churn", "congested-link",
+            "diurnal-cache-drift", "flash-crowd-burst", "hot-halo",
+            "hot-set-drift", "skewed-partitions", "steady-poisson",
+            "straggler-machine", "trainer-flaky", "uniform",
+        ]
+        assert available_scenarios(engine="serving") == [
+            "diurnal-cache-drift", "flash-crowd-burst", "steady-poisson",
         ]
         assert "nominal" in SCENARIOS       # alias
         assert "straggler" in SCENARIOS     # alias
