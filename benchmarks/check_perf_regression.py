@@ -116,19 +116,36 @@ def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
             "cache.drift_hit_gain_over_static", base, now, threshold, now >= threshold,
             "a non-default tier policy must keep beating static-degree on hot-set-drift",
         ))
-    base_cfgs = _get(baseline, "cache_tiers.drift_scenario.per_config") or {}
-    fresh_cfgs = _get(fresh, "cache_tiers.drift_scenario.per_config") or {}
-    for name in sorted(set(base_cfgs) & set(fresh_cfgs)):
-        base_hit = base_cfgs[name].get("mean_hit_rate")
-        now_hit = fresh_cfgs[name].get("mean_hit_rate")
-        if base_hit is None or now_hit is None:
+    for scen_key, label in (("drift_scenario", "drift"), ("churn_scenario", "churn")):
+        base_cfgs = _get(baseline, f"cache_tiers.{scen_key}.per_config") or {}
+        fresh_cfgs = _get(fresh, f"cache_tiers.{scen_key}.per_config") or {}
+        for name in sorted(set(base_cfgs) & set(fresh_cfgs)):
+            base_hit = base_cfgs[name].get("mean_hit_rate")
+            now_hit = fresh_cfgs[name].get("mean_hit_rate")
+            if base_hit is None or now_hit is None:
+                continue
+            threshold = base_hit - hit_abs
+            checks.append(Check(
+                f"cache.{label}.{name}.mean_hit_rate", base_hit, now_hit, threshold,
+                now_hit >= threshold,
+                "deterministic at fixed seed/config; only real behavior changes move it",
+            ))
+        # The scored policy must beat both degree heuristics on every
+        # cache scenario — the ROADMAP item 2 acceptance gate.
+        scored_hit = (fresh_cfgs.get("scored") or {}).get("mean_hit_rate")
+        if scored_hit is None:
             continue
-        threshold = base_hit - hit_abs
-        checks.append(Check(
-            f"cache.drift.{name}.mean_hit_rate", base_hit, now_hit, threshold,
-            now_hit >= threshold,
-            "deterministic at fixed seed/config; only real behavior changes move it",
-        ))
+        for rival in ("static-degree", "degree-weighted"):
+            rival_hit = (fresh_cfgs.get(rival) or {}).get("mean_hit_rate")
+            if rival_hit is None:
+                continue
+            threshold = rival_hit + min_hit_gain
+            checks.append(Check(
+                f"cache.{label}.scored_beats_{rival}", rival_hit, scored_hit,
+                threshold, scored_hit >= threshold,
+                "hard floor: the scored policy must beat the degree heuristic's "
+                "hit rate on this scenario",
+            ))
 
     # ---- async sync policies: simulated times, deterministic, tight band ----
     matches = _get(fresh, "async_sync.straggler.async_barrier_matches_lockstep")
@@ -225,8 +242,10 @@ def main(argv=None) -> int:
                         help="allowed absolute drop in wire-request reduction percent")
     parser.add_argument("--hit-tolerance", type=float, default=0.02,
                         help="allowed absolute drop in cache hit-rate metrics")
-    parser.add_argument("--min-hit-gain", type=float, default=0.01,
-                        help="hard floor for the drift-scenario policy gain")
+    parser.add_argument("--min-hit-gain", type=float, default=0.005,
+                        help="hard floor for the drift-scenario policy gain and for "
+                             "scored's margin over both degree heuristics on "
+                             "hot-set-drift and cache-churn")
     parser.add_argument("--min-async-reduction", type=float, default=0.5,
                         help="hard floor (percent) for bounded-staleness "
                              "critical-path reduction on the straggler scenario")

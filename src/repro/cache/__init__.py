@@ -15,19 +15,37 @@ from repro.cache.policies import (
     build_admission_policy,
     build_cache_eviction_policy,
 )
+from repro.cache.scoring import (
+    SCORERS,
+    DecisionLog,
+    PrefetchScorer,
+    ScoredAdmission,
+    ScoredEviction,
+    ScoreRecord,
+    build_scorer,
+    capture_decisions,
+)
 from repro.cache.stack import CacheFetchResult, TieredFeatureCache
 from repro.cache.tier import CacheTier, TierStats
 
 __all__ = [
     "ADMISSION_POLICIES",
     "CACHE_EVICTION_POLICIES",
+    "SCORERS",
     "AdaptiveCapacityController",
     "CacheConfig",
     "CacheFetchResult",
     "CacheTier",
     "CapacityAdjustment",
+    "DecisionLog",
+    "PrefetchScorer",
+    "ScoreRecord",
+    "ScoredAdmission",
+    "ScoredEviction",
     "TierStats",
     "TieredFeatureCache",
+    "build_scorer",
     "build_admission_policy",
     "build_cache_eviction_policy",
+    "capture_decisions",
 ]

@@ -28,6 +28,10 @@ class CacheConfig:
     tier's policies; the shared tier uses ``shared_admission``/
     ``shared_eviction``.  ``adaptive`` turns on the per-epoch capacity
     controller (see :class:`~repro.cache.controller.AdaptiveCapacityController`).
+    ``scorer`` names the :data:`~repro.cache.scoring.SCORERS` entry built for
+    tiers whose policies require one (the ``scored`` family), and
+    ``record_decisions`` makes those tiers keep a :class:`ScoreRecord` ledger
+    (the ``repro explain`` replay path).
     """
 
     tiers: int = 1
@@ -39,6 +43,8 @@ class CacheConfig:
     adaptive: bool = False
     min_tier_fraction: float = 0.1
     max_shift_fraction: float = 0.25
+    scorer: str = "decayed"
+    record_decisions: bool = False
 
     def __post_init__(self) -> None:
         if not 1 <= self.tiers <= MAX_TIERS:
@@ -54,7 +60,9 @@ class CacheConfig:
         # Resolve registry names eagerly (lazy imports: policies sit above
         # nothing, but keep symmetry with PrefetchConfig's validation).
         from repro.cache.policies import ADMISSION_POLICIES, CACHE_EVICTION_POLICIES
+        from repro.cache.scoring import SCORERS
 
+        object.__setattr__(self, "scorer", SCORERS.resolve(self.scorer))
         object.__setattr__(self, "admission", ADMISSION_POLICIES.resolve(self.admission))
         object.__setattr__(self, "eviction", CACHE_EVICTION_POLICIES.resolve(self.eviction))
         object.__setattr__(

@@ -17,6 +17,7 @@ the capacities are immutable — the bit-identical default path.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -79,26 +80,33 @@ class AdaptiveCapacityController:
         """Observe the epoch's hit rates and re-split the budget.
 
         Returns the adjustment applied, or ``None`` when the interval carried
-        no traffic (nothing to learn from).
+        no traffic (nothing to learn from) or the budget is zero (nothing to
+        split).
         """
         hot = self.hot_tier.stats.since(self._hot_snapshot)
         shared = self.shared_tier.stats.since(self._shared_snapshot)
         self._hot_snapshot = self.hot_tier.stats.snapshot()
         self._shared_snapshot = self.shared_tier.stats.snapshot()
         self._epoch += 1
+        if self.total_budget == 0:
+            return None
         if hot.lookups == 0 and shared.lookups == 0:
             return None
 
         # Weight each tier by its interval hit rate, floored by epsilon so a
-        # cold tier keeps a foothold and can recover later.
+        # cold tier keeps a foothold and can recover later.  All roundings use
+        # an explicit half-up rule (floor(x + 0.5)) rather than Python's
+        # banker's round(): banker's rounding maps exact .5 targets to the
+        # nearest even integer, which can flip the split ±1 row between epochs
+        # with identical hit rates and break re-split determinism.
         hot_weight = hot.hit_rate + self.hit_rate_epsilon
         shared_weight = shared.hit_rate + self.hit_rate_epsilon
-        target_hot = round(
-            self.total_budget * hot_weight / (hot_weight + shared_weight)
+        target_hot = math.floor(
+            self.total_budget * hot_weight / (hot_weight + shared_weight) + 0.5
         )
 
-        floor = int(round(self.min_tier_fraction * self.total_budget))
-        max_shift = max(1, int(round(self.max_shift_fraction * self.total_budget)))
+        floor = math.floor(self.min_tier_fraction * self.total_budget + 0.5)
+        max_shift = max(1, math.floor(self.max_shift_fraction * self.total_budget + 0.5))
         current_hot = self.hot_tier.capacity
         target_hot = max(current_hot - max_shift, min(current_hot + max_shift, target_hot))
         target_hot = max(floor, min(self.total_budget - floor, target_hot))

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
+from repro.cache.scoring import ScoredAdmission, ScoredEviction
 from repro.utils.registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -70,12 +71,16 @@ class StaticDegreeAdmission:
 
 
 class DegreeWeightedAdmission:
-    """Admit while there is free space; once full, only above-median-degree rows.
+    """Admit while there is free space; once full, only rows at or above the
+    median resident degree.
 
     A cheap frequency proxy: high-degree nodes are sampled (and therefore
     missed) more often, so they are the candidates worth displacing a resident
     for.  Low-degree one-off misses are filtered out instead of churning the
-    tier.
+    tier.  Ties with the median are admitted: on a constant-degree graph every
+    candidate ties the median, and a strict comparison would reject all of
+    them forever once the tier fills — silently degrading the policy to
+    ``static-degree`` (regression-pinned by the constant-degree test).
     """
 
     name = "degree-weighted"
@@ -92,7 +97,7 @@ class DegreeWeightedAdmission:
             mask[order[:free]] = True
         if tier.size:
             threshold = float(np.median(tier.resident_degrees))
-            mask |= candidate_degrees > threshold
+            mask |= candidate_degrees >= threshold
         return mask
 
 
@@ -103,6 +108,19 @@ ADMISSION_POLICIES.register(
 )
 ADMISSION_POLICIES.register(
     "degree-weighted", lambda: DegreeWeightedAdmission(), aliases=("degree",)
+)
+# Score-based admission (repro.cache.scoring): a per-node score with
+# confidence bounds decides who may displace a resident.  "scored" defaults
+# to the conservative mode; the explicit-mode names pin strict/bypass, and
+# "scored-online" adds the end-of-epoch weight learner.
+ADMISSION_POLICIES.register(
+    "scored", lambda: ScoredAdmission(mode="conservative"),
+    aliases=("scored-conservative",),
+)
+ADMISSION_POLICIES.register("scored-strict", lambda: ScoredAdmission(mode="strict"))
+ADMISSION_POLICIES.register("scored-bypass", lambda: ScoredAdmission(mode="bypass"))
+ADMISSION_POLICIES.register(
+    "scored-online", lambda: ScoredAdmission(mode="conservative", online=True),
 )
 
 
@@ -206,6 +224,9 @@ CACHE_EVICTION_POLICIES.register("lfu", lambda: LFUEviction())
 CACHE_EVICTION_POLICIES.register("clock", lambda: ClockEviction(), aliases=("second-chance",))
 CACHE_EVICTION_POLICIES.register(
     "degree-weighted", lambda: DegreeWeightedEviction(), aliases=("degree",)
+)
+CACHE_EVICTION_POLICIES.register(
+    "scored", lambda: ScoredEviction(), aliases=("lowest-upper-bound",)
 )
 
 

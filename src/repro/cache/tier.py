@@ -16,13 +16,20 @@ the LRU/LFU/CLOCK policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cache.policies import (
     build_admission_policy,
     build_cache_eviction_policy,
+)
+from repro.cache.scoring import (
+    DistanceLookup,
+    PrefetchScorer,
+    ScoreRecord,
+    active_decision_log,
+    build_scorer,
 )
 from repro.utils.validation import check_1d_int_array
 
@@ -91,6 +98,18 @@ class CacheTier:
     degree_of:
         Optional global-id -> degree lookup used by the degree-aware policies;
         tiers without one fall back to zero degrees.
+    scorer:
+        Registry name (see :data:`repro.cache.scoring.SCORERS`) of the scorer
+        built when either policy is score-based; ignored otherwise.
+    distance_of:
+        Optional global-id -> halo-distance lookup for the scorer's
+        halo-distance feature (1-hop halo rows report 1).
+    record_decisions:
+        Record every scored admit/reject/evict decision as a
+        :class:`~repro.cache.scoring.ScoreRecord` in :attr:`ledger`.  Forced
+        on while a :func:`~repro.cache.scoring.capture_decisions` session is
+        active (the ``repro explain`` replay path).  Recording never changes
+        a decision.
     """
 
     def __init__(
@@ -101,6 +120,9 @@ class CacheTier:
         admission: str = "always",
         eviction: str = "lru",
         degree_of: Optional[DegreeLookup] = None,
+        scorer: str = "decayed",
+        distance_of: Optional[DistanceLookup] = None,
+        record_decisions: bool = False,
     ):
         if capacity < 0:
             raise ValueError(f"tier capacity must be >= 0, got {capacity}")
@@ -112,6 +134,21 @@ class CacheTier:
         self.degree_of = degree_of
         self.stats = TierStats()
         self.clock_hand = 0  # persistent CLOCK sweep position
+        self.last_step = 0   # latest step seen by lookup/admit (policies read it)
+
+        self.scorer: Optional[PrefetchScorer] = None
+        self.ledger: List[ScoreRecord] = []
+        self.record_decisions = bool(record_decisions)
+        if (getattr(self.admission, "requires_scorer", False)
+                or getattr(self.eviction, "requires_scorer", False)):
+            online = bool(getattr(self.admission, "online", False)
+                          or getattr(self.eviction, "online", False))
+            self.scorer = build_scorer(scorer, online=online, distance_of=distance_of)
+            self.scorer.bind_degree_lookup(degree_of)
+            log = active_decision_log()
+            if log is not None:
+                log.register(self)
+                self.record_decisions = True
 
         self._ids = np.zeros(0, dtype=np.int64)
         self._rows = np.zeros((0, self.feature_dim), dtype=np.float32)
@@ -148,10 +185,56 @@ class CacheTier:
         return self._degrees
 
     def nbytes(self) -> int:
+        scorer_bytes = self.scorer.nbytes() if self.scorer is not None else 0
         return int(
             self._rows.nbytes + self._ids.nbytes + self._last_access.nbytes
             + self._freq.nbytes + self._ref.nbytes + self._degrees.nbytes
+            + scorer_bytes
         )
+
+    # ------------------------------------------------------------------ #
+    # Scored-decision ledger
+    # ------------------------------------------------------------------ #
+    @property
+    def recording(self) -> bool:
+        """True when scored decisions are being appended to :attr:`ledger`."""
+        return self.scorer is not None and self.record_decisions
+
+    def record_decision(self, record: "ScoreRecord") -> None:
+        """Append one decision to the ledger (no-op unless recording)."""
+        if self.recording:
+            self.ledger.append(record)
+
+    def record_decisions_batch(
+        self,
+        step: int,
+        candidate_ids: np.ndarray,
+        admit_mask: np.ndarray,
+        scores: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        threshold: float,
+        mode: str,
+        admit_reason: str,
+        reject_reason: str,
+    ) -> None:
+        """Ledger one admission round's per-candidate admit/reject outcomes."""
+        if not self.recording:
+            return
+        for i, node_id in enumerate(candidate_ids):
+            admitted = bool(admit_mask[i])
+            self.ledger.append(ScoreRecord(
+                step=int(step), node_id=int(node_id),
+                action="admit" if admitted else "reject", tier=self.name,
+                score=float(scores[i]), lower_bound=float(lower[i]),
+                upper_bound=float(upper[i]), threshold=float(threshold),
+                mode=mode, reason=admit_reason if admitted else reject_reason,
+            ))
+
+    def end_epoch(self) -> None:
+        """Epoch boundary: let a scored tier's online learner update weights."""
+        if self.scorer is not None:
+            self.scorer.end_epoch()
 
     def summary(self) -> Dict[str, float]:
         out = self.stats.as_dict()
@@ -172,8 +255,12 @@ class CacheTier:
         """
         global_ids = check_1d_int_array(global_ids, "global_ids")
         self.stats.lookups += int(len(global_ids))
+        self.last_step = max(self.last_step, int(step))
         if self.size == 0 or len(global_ids) == 0:
             self.stats.misses += int(len(global_ids))
+            if self.scorer is not None and len(global_ids):
+                self.scorer.observe(global_ids, step,
+                                    np.zeros(len(global_ids), dtype=bool))
             return (
                 np.zeros(len(global_ids), dtype=bool),
                 np.zeros((0, self.feature_dim), dtype=np.float32),
@@ -187,6 +274,11 @@ class CacheTier:
             self._last_access[hit_idx] = step
             np.add.at(self._freq, hit_idx, 1)
             self._ref[hit_idx] = True
+        if self.scorer is not None:
+            # The request stream (hits AND misses) is the scorer's signal: a
+            # not-yet-resident node must be able to build a score worth
+            # admitting before it ever hits.
+            self.scorer.observe(global_ids, step, hit_mask)
         # Advanced indexing already materializes a fresh array; no copy needed.
         return hit_mask, self._rows[hit_idx]
 
@@ -233,6 +325,7 @@ class CacheTier:
         global_ids = check_1d_int_array(global_ids, "global_ids")
         if len(global_ids) == 0:
             return 0
+        self.last_step = max(self.last_step, int(step))
         rows = np.asarray(rows, dtype=np.float32)
         # Deduplicate the offer: promotion of a request that repeated an id
         # would otherwise insert the same id into two slots, silently wasting

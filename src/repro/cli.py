@@ -29,6 +29,12 @@ Commands
     shape for every scenario.
 ``sweep``
     Grid-search (f_h, γ, Δ) and print the Table IV-style optimum.
+``explain``
+    Replay a scenario with the scored cache policies and print why one node
+    was admitted, rejected, or evicted — every decision with its score,
+    confidence bounds, threshold, mode, and reason.  Replays are
+    deterministic: the same ``--scenario``/``--seed`` reproduces the exact
+    decision ledger bit-identically.
 
 Execution backends are selected with ``--engine`` (see
 :data:`repro.training.engines.ENGINES`): ``repro run --engine async --sync
@@ -41,11 +47,12 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import __version__, viz
 from repro.cache.config import CacheConfig
 from repro.cache.policies import ADMISSION_POLICIES, CACHE_EVICTION_POLICIES
+from repro.cache.scoring import capture_decisions
 from repro.core.config import PrefetchConfig
 from repro.core.eviction import EVICTION_POLICIES, build_eviction_policy
 from repro.distributed.cluster import ClusterConfig, SimCluster
@@ -63,7 +70,6 @@ from repro.scenarios import (
 from repro.serving import ARRIVALS
 from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine
-from repro.training.engines import ENGINES
 from repro.training.engines import ENGINES
 from repro.training.pipelines import PIPELINES
 from repro.training.sweep import find_optimal, run_parameter_sweep
@@ -228,6 +234,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--trace-dir", type=Path, default=None,
                        help="write the full ServingReport JSON here")
+
+    explain = sub.add_parser(
+        "explain",
+        help="replay a scenario with the scored cache policies and explain one "
+             "node's admit/evict/reject decisions",
+    )
+    explain.add_argument(
+        "--scenario", default="hot-set-drift", choices=available_scenarios(),
+        help="scenario to replay (default: hot-set-drift)",
+    )
+    explain.add_argument(
+        "--node-id", type=int, default=None, dest="node_id",
+        help="global node id to explain (default: the node with the most "
+             "recorded decisions in the replay)",
+    )
+    explain.add_argument(
+        "--admission", default="scored",
+        choices=[n for n in ADMISSION_POLICIES.names() if n.startswith("scored")],
+        help="scored admission variant to replay with (default: scored — the "
+             "conservative mode)",
+    )
+    explain.add_argument(
+        "--eviction", default="scored", choices=["scored", "lru", "lfu", "clock"],
+        help="hot-tier eviction policy for the replay (default: scored — evict "
+             "lowest upper bound; decisions are only recorded for scored policies)",
+    )
+    explain.add_argument(
+        "--cache-tiers", type=int, default=1, choices=[1, 2], dest="cache_tiers",
+        help="tier stack shape for the replay (default: 1)",
+    )
+    explain.add_argument("--epochs", type=int, default=None,
+                         help="override the scenario's epoch count")
+    explain.add_argument("--scale", type=float, default=None,
+                         help="dataset scale multiplier (default: the scenario's)")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--limit", type=int, default=20,
+        help="print at most this many decisions, most recent last (0 = all)",
+    )
+    explain.add_argument(
+        "--json", action="store_true",
+        help="emit the node's decisions as JSON lines instead of a table",
+    )
 
     sweep = sub.add_parser("sweep", help="grid-search the prefetch parameters")
     sweep.add_argument("--dataset", default="products", choices=available_datasets())
@@ -714,6 +763,99 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: replay a scenario, then narrate one node's decisions.
+
+    The replay runs the tiered-cache pipeline with the requested scored
+    policies inside a :func:`~repro.cache.scoring.capture_decisions` session;
+    recording is pure observation, so the replayed decisions are exactly what
+    a non-captured run of the same scenario/seed would make.
+    """
+    scenario = SCENARIOS.build(args.scenario).with_overrides(
+        scale=args.scale, epochs=args.epochs
+    )
+    try:
+        cache_config = CacheConfig(
+            tiers=args.cache_tiers,
+            admission=args.admission,
+            eviction=args.eviction,
+            record_decisions=True,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    with capture_decisions() as log:
+        if ENGINES.resolve(scenario.engine) == "serving":
+            workload = scenario.materialize(seed=args.seed)
+        else:
+            workload = scenario.materialize(
+                seed=args.seed,
+                train_config=TrainConfig(epochs=scenario.epochs, seed=args.seed),
+            )
+        workload.run(pipeline="tiered-cache", cache_config=cache_config)
+
+    counts = log.decision_counts()
+    if not counts:
+        print("error: the replay recorded no scored decisions (did every tier "
+              "stay under capacity?)", file=sys.stderr)
+        return 1
+    node_id = args.node_id
+    if node_id is None:
+        # Deterministic default: most decisions, ties to the smallest id.
+        node_id = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+    records = log.records_for(node_id)
+    if not records:
+        busiest = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        hint = ", ".join(f"{nid} ({n})" for nid, n in busiest)
+        print(f"error: node {node_id} has no recorded decisions in this replay; "
+              f"most-decided nodes: {hint}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        import json
+
+        for tier_index, record in records:
+            print(json.dumps({"tier_index": tier_index, **record.as_dict()}))
+        return 0
+
+    print(f"scenario '{scenario.name}' seed={args.seed}: "
+          f"cache = {cache_config.describe()}")
+    print(f"node {node_id}: {len(records)} decision(s) across "
+          f"{len(log.tiers)} scored tier(s)\n")
+    shown = records if args.limit <= 0 else records[-args.limit:]
+    if len(shown) < len(records):
+        print(f"(showing the last {len(shown)} of {len(records)} decisions; "
+              f"--limit 0 for all)")
+
+    def fmt(value: float) -> str:
+        return "-" if value != value else f"{value:.4f}"  # nan-safe
+
+    rows = [
+        [r.step, f"{tier_index}:{r.tier}", r.action, fmt(r.score),
+         fmt(r.lower_bound), fmt(r.upper_bound), fmt(r.threshold),
+         r.mode, r.reason]
+        for tier_index, r in shown
+    ]
+    print(format_table(
+        ["step", "tier", "action", "score", "lower", "upper", "threshold",
+         "mode", "reason"],
+        rows,
+    ))
+
+    import numpy as np
+
+    resident_in = [
+        f"{i}:{tier.name}" for i, tier in enumerate(log.tiers)
+        if bool(np.isin(np.int64(node_id), tier.resident_ids))
+    ]
+    if resident_in:
+        print(f"\nfinal state: resident in {', '.join(resident_in)}")
+    else:
+        print("\nfinal state: not resident in any scored tier")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     sweep = run_parameter_sweep(
@@ -757,6 +899,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -283,7 +283,7 @@ class SimCluster:
         tier starts empty at capacity 0 and is dropped by :meth:`reset`.
         """
         from repro.cache.tier import CacheTier
-        from repro.features.sources import halo_degree_lookup
+        from repro.features.sources import halo_degree_lookup, halo_distance_lookup
 
         tier = self._shared_cache_tiers.get(machine)
         if tier is None:
@@ -295,6 +295,9 @@ class SimCluster:
                 admission=cache_config.shared_admission,
                 eviction=cache_config.shared_eviction,
                 degree_of=halo_degree_lookup(partition),
+                scorer=getattr(cache_config, "scorer", "decayed"),
+                distance_of=halo_distance_lookup(partition),
+                record_decisions=getattr(cache_config, "record_decisions", False),
             )
             self._shared_cache_tiers[machine] = tier
         return tier

@@ -67,6 +67,26 @@ def halo_degree_lookup(partition: GraphPartition) -> Callable[[np.ndarray], np.n
     return lookup
 
 
+def halo_distance_lookup(partition: GraphPartition) -> Callable[[np.ndarray], np.ndarray]:
+    """Hop distance from the partition boundary for the scorer's distance feature.
+
+    Partitions only materialize 1-hop halos, so members of the halo table sit
+    at distance 1 and anything else (ids seen only through multi-hop fanout)
+    reports distance 2 — far enough that the scorer's ``1/distance`` feature
+    ranks them below every direct halo neighbor.
+    """
+    halo = partition.halo_global
+
+    def lookup(global_ids: np.ndarray) -> np.ndarray:
+        out = np.full(len(global_ids), 2, dtype=np.int64)
+        if len(halo) and len(global_ids):
+            idx = np.minimum(np.searchsorted(halo, global_ids), len(halo) - 1)
+            out[halo[idx] == global_ids] = 1
+        return out
+
+    return lookup
+
+
 def halo_owners(partition: GraphPartition, global_ids: np.ndarray) -> np.ndarray:
     """Owning partition of each halo node, validating membership.
 
@@ -281,6 +301,7 @@ class TieredCacheSource:
         self._initialized = False
 
         degree_of = halo_degree_lookup(partition)
+        distance_of = halo_distance_lookup(partition)
         feature_dim = rpc.servers[rpc.local_part].feature_dim
         hot_capacity, shared_contribution = self.cache_config.split_budget(self.capacity)
         self.hot_tier = CacheTier(
@@ -290,6 +311,9 @@ class TieredCacheSource:
             admission=self.cache_config.admission,
             eviction=self.cache_config.eviction,
             degree_of=degree_of,
+            scorer=self.cache_config.scorer,
+            distance_of=distance_of,
+            record_decisions=self.cache_config.record_decisions,
         )
         tiers: List[CacheTier] = [self.hot_tier]
         self.shared_tier: Optional[CacheTier] = None
@@ -303,6 +327,9 @@ class TieredCacheSource:
                     admission=self.cache_config.shared_admission,
                     eviction=self.cache_config.shared_eviction,
                     degree_of=degree_of,
+                    scorer=self.cache_config.scorer,
+                    distance_of=distance_of,
+                    record_decisions=self.cache_config.record_decisions,
                 )
             # Each trainer funds its share of the machine tier; the tier's
             # capacity is the sum of its trainers' contributions.
@@ -372,9 +399,12 @@ class TieredCacheSource:
         return features, stats
 
     def end_epoch(self) -> None:
-        """Epoch boundary: let the adaptive controller re-split tier budgets."""
+        """Epoch boundary: re-split tier budgets and step the online scorers."""
         if self.controller is not None:
             self.controller.end_epoch(self._step)
+        self.hot_tier.end_epoch()
+        if self.shared_tier is not None:
+            self.shared_tier.end_epoch()
 
     # ------------------------------------------------------------------ #
     def _fetch_missing(self, global_ids: np.ndarray) -> Tuple[np.ndarray, float, int]:
@@ -513,6 +543,9 @@ def _build_buffered(ctx: SourceContext) -> BufferedSource:
                 admission=ctx.cache_config.shared_admission,
                 eviction=ctx.cache_config.shared_eviction,
                 degree_of=halo_degree_lookup(ctx.partition),
+                scorer=ctx.cache_config.scorer,
+                distance_of=halo_distance_lookup(ctx.partition),
+                record_decisions=ctx.cache_config.record_decisions,
             )
         num_halo = ctx.partition.num_halo
         budget = config.buffer_capacity(num_halo)
