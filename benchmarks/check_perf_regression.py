@@ -9,9 +9,13 @@ classes of metric are treated differently:
   policy hit-rate gains, simulated critical-path reductions — are
   deterministic given the same benchmark config, so they get tight tolerance
   bands;
-* **machine-dependent** metrics — the vectorized-sampler speedup — vary with
-  the runner's hardware, so they get a wide relative band plus a hard floor
-  (vectorized must never be slower than the loop reference).
+* **machine-dependent** metrics — the vectorized-sampler speedup and the
+  process-pool wall-clock speedup — vary with the runner's hardware, so they
+  get a wide relative band plus a hard floor (vectorized must never be slower
+  than the loop reference; the pool at max workers must beat inline wall
+  clock).  The pool floor and band only apply when the producing run had at
+  least two CPU cores — on a single-core runner parallel speedup is
+  physically impossible, so gating it would only measure the container.
 
 Throughput-style numbers (rows/s, ns/node) are reported in the trend artifact
 but never gated: comparing wall-clock across unrelated machines would make
@@ -69,7 +73,8 @@ def _get(tree: dict, path: str):
 def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
                reduction_abs: float, hit_abs: float, min_hit_gain: float,
                min_async_reduction: float = 0.5,
-               latency_ratio: float = 1.05) -> List[Check]:
+               latency_ratio: float = 1.05,
+               min_pool_speedup: float = 1.0) -> List[Check]:
     checks: List[Check] = []
 
     # ---- sampler speedup: machine-dependent, wide band + hard floor ----
@@ -87,6 +92,35 @@ def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
                 "sampler.speedup_vs_baseline", base, now, threshold, now >= threshold,
                 f"wide band ({speedup_ratio:.0%} of baseline): runners differ in "
                 f"hardware, big drops still surface",
+            ))
+
+    # ---- execution backends: bit-identity always; wall clock on >=2 cores ----
+    identical = _get(fresh, "execution_backends.reports_identical")
+    if identical is not None:
+        checks.append(Check(
+            "pool.reports_bit_identical_to_inline", None,
+            1.0 if identical else 0.0, 1.0, bool(identical),
+            "hard invariant: the process-pool backend must reproduce the inline "
+            "report bit for bit",
+        ))
+    path = "execution_backends.speedup_at_max_workers"
+    now = _get(fresh, path)
+    fresh_cores = _get(fresh, "execution_backends.cpu_count") or 1
+    if now is not None and fresh_cores >= 2:
+        checks.append(Check(
+            "pool.beats_inline_wall_clock", None, now, min_pool_speedup,
+            now >= min_pool_speedup,
+            "hard floor: the pool at max workers must beat inline wall clock "
+            "(only gated on multi-core runners)",
+        ))
+        base = _get(baseline, path)
+        base_cores = _get(baseline, "execution_backends.cpu_count") or 1
+        if base is not None and base_cores >= 2:
+            threshold = base * speedup_ratio
+            checks.append(Check(
+                "pool.speedup_vs_baseline", base, now, threshold, now >= threshold,
+                f"wide band ({speedup_ratio:.0%} of baseline): wall clock varies "
+                f"with runner hardware, big drops still surface",
             ))
 
     # ---- RPC coalescing: deterministic counters, tight band ----
@@ -224,6 +258,8 @@ def report_only_metrics(fresh: dict) -> dict:
         ),
         "serving.latency_curve": _get(fresh, "serving.latency_curve"),
         "serving.diurnal.phase_p99_ms": _get(fresh, "serving.diurnal.phase_p99_ms"),
+        "execution_backends.curve": _get(fresh, "execution_backends.curve"),
+        "execution_backends.cpu_count": _get(fresh, "execution_backends.cpu_count"),
     }
 
 
@@ -252,6 +288,10 @@ def main(argv=None) -> int:
     parser.add_argument("--latency-tolerance", type=float, default=1.05,
                         help="fresh serving p99 at each load point must stay within "
                              "this multiple of the baseline's")
+    parser.add_argument("--min-pool-speedup", type=float, default=1.0,
+                        help="hard floor for the process-pool wall-clock speedup "
+                             "over inline at max workers (only gated when the "
+                             "producing run had >= 2 CPU cores)")
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -269,6 +309,7 @@ def main(argv=None) -> int:
         min_hit_gain=args.min_hit_gain,
         min_async_reduction=args.min_async_reduction,
         latency_ratio=args.latency_tolerance,
+        min_pool_speedup=args.min_pool_speedup,
     )
     failed = [c for c in checks if not c.passed]
     for check in checks:

@@ -374,9 +374,14 @@ def build_rpc_channel(
     )
 
 
+def merge_rpc_stats(stats: List[RPCStats]) -> RPCStats:
+    """Sum a sequence of :class:`RPCStats` in order (left fold of ``merge``)."""
+    total = RPCStats()
+    for entry in stats:
+        total = total.merge(entry)
+    return total
+
+
 def aggregate_rpc_stats(channels: List[RPCChannel]) -> RPCStats:
     """Sum RPC statistics across all trainers' channels."""
-    total = RPCStats()
-    for channel in channels:
-        total = total.merge(channel.stats)
-    return total
+    return merge_rpc_stats([channel.stats for channel in channels])

@@ -82,6 +82,17 @@ class SyncContext:
     # barrier policy's rank-ordered rounds).  Only meaningful from within a
     # can_start/on_trainer_exhausted callback.
     start_step: Callable[[int], None] = None
+    # Batched variant: execute a rank-ordered cohort of steps in one call.
+    # Serially equivalent to calling start_step per rank, but it is the
+    # execution backend's batch boundary — a process-pool backend computes the
+    # cohort in parallel workers and merges outcomes in rank order.  Policies
+    # releasing whole cohorts should prefer it; it falls back to per-rank
+    # start_step when the engine does not provide it.
+    start_steps: Callable[[List[int]], None] = None
+    # Gradient-application seam: when the engine sets this, averaged gradients
+    # are applied through the execution backend (which also forwards them to
+    # worker-process model replicas); None applies directly to ctx.model.
+    apply_update: Callable[[Dict[str, np.ndarray]], bool] = None
 
     @property
     def world_size(self) -> int:
@@ -98,6 +109,12 @@ class SyncContext:
         if wait > 0:
             self.barrier_waits[rank] += wait
             clock.advance(wait, "stall")
+
+    def apply_averaged(self, averaged: Dict[str, np.ndarray]) -> bool:
+        """Apply an averaged gradient through the backend seam (or directly)."""
+        if self.apply_update is not None:
+            return self.apply_update(averaged)
+        return apply_averaged_gradients(self.optimizer, self.model, averaged)
 
 
 def apply_averaged_gradients(optimizer, model, averaged) -> bool:
@@ -222,8 +239,13 @@ class AllReduceBarrierPolicy(SyncPolicy):
             return
         ranks = sorted(self._ready)
         self._ready = set()
-        for rank in ranks:
-            self.ctx.start_step(rank)
+        # The whole round's cohort releases at once — the natural merge point
+        # for parallel execution backends (outcomes still land in rank order).
+        if self.ctx.start_steps is not None:
+            self.ctx.start_steps(ranks)
+        else:
+            for rank in ranks:
+                self.ctx.start_step(rank)
 
     # ------------------------------------------------------------------ #
     def _maybe_complete(self) -> None:
@@ -248,7 +270,7 @@ class AllReduceBarrierPolicy(SyncPolicy):
             if wait > 0:
                 ctx.barrier_waits[i] += wait
                 trainer.clock.advance(wait, "stall")
-        apply_averaged_gradients(ctx.optimizer, ctx.model, averaged)
+        ctx.apply_averaged(averaged)
         self._round += 1
         self._contrib = {}
         for r in sorted(self._expected):
@@ -332,7 +354,7 @@ class BoundedStalenessPolicy(SyncPolicy):
             if contributions:
                 ctx.record_round(contributions)
                 averaged = allreduce_gradients([c.grads for c in contributions])
-                apply_averaged_gradients(ctx.optimizer, ctx.model, averaged)
+                ctx.apply_averaged(averaged)
                 # Async push/pull: charged off the critical path.
                 hidden = ctx.cost_model.time_allreduce(ctx.num_params, ctx.world_size)
                 for r in ranks:

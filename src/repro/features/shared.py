@@ -1,0 +1,139 @@
+"""Shared-memory (memmap) export of a dataset + partition for worker processes.
+
+The process-pool execution backend rebuilds a full ``SimCluster`` inside each
+worker.  Everything *structural* (partition books, halo maps, trainer seed
+splits) is cheap to rebuild deterministically from configs, but the big
+read-only arrays — the CSR graph, the feature matrix, labels, masks, the
+partition assignment, and each partition server's KVStore payload — must not
+be duplicated per worker.  This module writes them once as ``.npy`` files and
+hands workers a pickle-safe :class:`SharedDatasetHandle`; workers re-open the
+files with ``mmap_mode="r"`` so the OS page cache shares the physical pages
+across all processes and any write attempt raises.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, SharedCSRHandle
+from repro.graph.datasets import DatasetSpec, GraphDataset
+from repro.graph.partition import PartitionResult
+
+
+@dataclass(frozen=True)
+class SharedDatasetHandle:
+    """Pickle-safe pointer to a memmap-exported dataset + partition.
+
+    Carries only file paths and plain metadata — never live arrays or
+    objects — so it crosses process boundaries under spawn-start.
+    """
+
+    directory: str
+    name: str
+    num_classes: int
+    graph: SharedCSRHandle
+    features_path: str
+    labels_path: str
+    train_mask_path: str
+    val_mask_path: str
+    test_mask_path: str
+    parts_path: str
+    num_parts: int
+    partition_method: str
+    spec: Optional[DatasetSpec] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+    partition_stats: Dict[str, float] = field(default_factory=dict)
+    # (part_id, ids_path, rows_path) per partition server, in part_id order.
+    server_rows: Tuple[Tuple[int, str, str], ...] = ()
+
+
+def _save(directory: str, name: str, array: np.ndarray) -> str:
+    path = os.path.join(directory, f"{name}.npy")
+    np.save(path, np.ascontiguousarray(array))
+    return path
+
+
+def export_shared_dataset(
+    dataset: GraphDataset,
+    partition_result: PartitionResult,
+    server_payloads: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    directory: str,
+) -> SharedDatasetHandle:
+    """Write *dataset* and its partition to ``.npy`` files under *directory*.
+
+    ``server_payloads`` maps ``part_id`` to the owning KVStore's pre-sorted
+    ``(ids, rows)`` arrays (see :meth:`~repro.distributed.kvstore.KVStore.
+    shared_arrays`); exporting the store layout lets workers adopt the rows
+    without re-sorting or copying.
+    """
+    os.makedirs(directory, exist_ok=True)
+    rows_entries = []
+    for part_id in sorted(server_payloads):
+        ids, rows = server_payloads[part_id]
+        rows_entries.append(
+            (
+                int(part_id),
+                _save(directory, f"server_{part_id}_ids", ids),
+                _save(directory, f"server_{part_id}_rows", rows),
+            )
+        )
+    return SharedDatasetHandle(
+        directory=directory,
+        name=dataset.name,
+        num_classes=int(dataset.num_classes),
+        graph=dataset.graph.to_shared(directory),
+        features_path=_save(directory, "features", dataset.features),
+        labels_path=_save(directory, "labels", dataset.labels),
+        train_mask_path=_save(directory, "train_mask", dataset.train_mask),
+        val_mask_path=_save(directory, "val_mask", dataset.val_mask),
+        test_mask_path=_save(directory, "test_mask", dataset.test_mask),
+        parts_path=_save(directory, "parts", partition_result.parts),
+        num_parts=int(partition_result.num_parts),
+        partition_method=partition_result.method,
+        spec=dataset.spec,
+        metadata=dict(dataset.metadata),
+        partition_stats=dict(partition_result.stats),
+        server_rows=tuple(rows_entries),
+    )
+
+
+def load_shared_dataset(
+    handle: SharedDatasetHandle,
+) -> Tuple[GraphDataset, PartitionResult, Dict[int, Tuple[np.ndarray, np.ndarray]]]:
+    """Re-open a :func:`export_shared_dataset` export as read-only memmaps.
+
+    Returns the dataset, the partition result, and the per-partition KVStore
+    payloads, all backed by ``mmap_mode="r"`` arrays (value-identical to the
+    exporting process's arrays; writes raise ``ValueError``).
+    """
+
+    def mapped(path: str) -> np.ndarray:
+        return np.load(path, mmap_mode="r")
+
+    dataset = GraphDataset(
+        name=handle.name,
+        graph=CSRGraph.from_shared(handle.graph),
+        features=mapped(handle.features_path),
+        labels=mapped(handle.labels_path),
+        train_mask=mapped(handle.train_mask_path),
+        val_mask=mapped(handle.val_mask_path),
+        test_mask=mapped(handle.test_mask_path),
+        num_classes=handle.num_classes,
+        spec=handle.spec,
+        metadata=dict(handle.metadata),
+    )
+    partition_result = PartitionResult(
+        parts=mapped(handle.parts_path),
+        num_parts=handle.num_parts,
+        method=handle.partition_method,
+        stats=dict(handle.partition_stats),
+    )
+    server_rows = {
+        part_id: (mapped(ids_path), mapped(rows_path))
+        for part_id, ids_path, rows_path in handle.server_rows
+    }
+    return dataset, partition_result, server_rows

@@ -67,6 +67,13 @@ class ClusterScenario:
     sync: str = "allreduce-barrier"
     staleness: int = 1
     sync_period: int = 4
+    # Execution backend (repro.training.backends.EXECUTION_BACKENDS): "inline"
+    # steps trainers in-process exactly like the historical loops; the
+    # "process-pool" backend fans whole machines out to worker processes over
+    # shared-memory stores and merges outcomes bit-identically.  ``workers``
+    # only applies to the pool (None = one worker per machine).
+    execution_backend: str = "inline"
+    workers: Optional[int] = None
     # Event-driven stress inputs: a seeded transient-failure schedule and a
     # time-varying RPC congestion profile (repro.events.schedule).
     failures: Optional[FailureSpec] = None
@@ -159,6 +166,8 @@ class ClusterScenario:
             sync_period=self.sync_period,
             failures=self.failures,
             serving=self.serving,
+            execution_backend=self.execution_backend,
+            workers=self.workers,
         )
         return ClusterWorkload(scenario=self, dataset=dataset, cluster=cluster, engine=engine)
 

@@ -48,18 +48,15 @@ from repro.distributed.cluster import SimCluster
 from repro.events.loop import Event, EventLoop
 from repro.events.schedule import FailureSchedule, FailureSpec
 from repro.events.sync import SYNC_POLICIES, StepContribution, SyncContext
-from repro.sampling.pipeline import MiniBatchPipeline
 from repro.training.cluster_engine import (
     ClusterReport,
     collect_trainer_stats,
-    merged_store_summary,
-    prepare_cluster_run,
+    merged_store_summary_from_artifacts,
 )
 from repro.training.config import TrainConfig
 from repro.training.engine import (
     PipelineBuilder,
     assemble_training_report,
-    train_step,
 )
 from repro.training.telemetry import EpochRecord
 
@@ -94,7 +91,11 @@ class AsyncClusterEngine:
         sync_options: Optional[Dict[str, object]] = None,
         failures: Optional[FailureSpec] = None,
         record_events: bool = False,
+        execution_backend: str = "inline",
+        workers: Optional[int] = None,
     ):
+        from repro.training.backends import EXECUTION_BACKENDS
+
         self.cluster = cluster
         self.config = train_config
         self.cost_model = cluster.cost_model
@@ -104,6 +105,8 @@ class AsyncClusterEngine:
         self.sync_options = dict(sync_options or {})
         self.failures = failures
         self.record_events = record_events
+        self.execution_backend = EXECUTION_BACKENDS.resolve(execution_backend)
+        self.workers = workers
         #: ``(kind, time, rank, seq)`` tuples of the last run (record_events).
         self.event_history: List[tuple] = []
         cluster.validate_seed_coverage()
@@ -117,17 +120,46 @@ class AsyncClusterEngine:
         cache_config: Optional[CacheConfig] = None,
     ) -> ClusterReport:
         """Train the cluster event-driven; same contract as the lockstep engine."""
+        from repro.training.backends import EXECUTION_BACKENDS
+
         cluster, config = self.cluster, self.config
-        setup = prepare_cluster_run(
-            cluster, config, pipeline, prefetch_config, eviction_policy, cache_config
+        policy = SYNC_POLICIES.build(self.sync, **self.sync_options)
+        backend = EXECUTION_BACKENDS.build(
+            self.execution_backend, cluster, config, workers=self.workers
         )
+        if policy.owns_replicas and not backend.supports_replica_policies:
+            backend.close()
+            raise ValueError(
+                f"sync policy {policy.name!r} owns per-trainer model replicas "
+                f"and requires the inline execution backend "
+                f"(got {backend.name!r})"
+            )
+        try:
+            return self._run(
+                backend, policy, pipeline, prefetch_config, eviction_policy, cache_config
+            )
+        finally:
+            backend.close()
+
+    def _run(
+        self,
+        backend,
+        policy,
+        pipeline: Union[str, PipelineBuilder],
+        prefetch_config: Optional[PrefetchConfig],
+        eviction_policy: Optional[EvictionPolicy],
+        cache_config: Optional[CacheConfig],
+    ) -> ClusterReport:
+        """The event loop proper, once backend and policy are validated."""
+        from repro.training.backends import StepOutcome
+
+        cluster, config = self.cluster, self.config
+        setup = backend.prepare(pipeline, prefetch_config, eviction_policy, cache_config)
         trainers = cluster.trainers
         world = len(trainers)
         model, optimizer = setup.model, setup.optimizer
-        pipelines: List[MiniBatchPipeline] = setup.pipelines
         accumulators = setup.accumulators
 
-        policy = SYNC_POLICIES.build(self.sync, **self.sync_options)
         loop = EventLoop(record=self.record_events)
         schedule = (
             FailureSchedule(self.failures, world, cluster.config.seed)
@@ -181,53 +213,85 @@ class AsyncClusterEngine:
 
         # ---------------- event handlers ----------------
         def on_step_ready(ev: Event) -> None:
-            rank = ev.rank
-            if down[rank]:
-                # Unreachable under the shipped policies (a trainer can only
-                # fail during its own step-done, before any release), but a
-                # future policy releasing early must not start a downed
-                # trainer.
-                pending_release[rank] = True
-                return
-            if not policy.can_start(rank):
-                return  # the policy holds the trainer (and starts it itself)
-            start_step(rank)
+            # Batch every consecutive same-timestamp step-ready event into one
+            # handler pass: popping them up front assigns no event seqs and
+            # preserves the serial pop order, but it hands the execution
+            # backend a whole cohort to compute in parallel.  Collection stops
+            # at any other event kind, so interleaved same-time events (e.g. a
+            # recover) keep their serial position.
+            batch = [ev]
+            nxt = loop.peek()
+            while nxt is not None and nxt.kind == "step-ready" and nxt.time == ev.time:
+                batch.append(loop.pop())
+                nxt = loop.peek()
+            starts: List[int] = []
+            for e in batch:
+                rank = e.rank
+                if down[rank]:
+                    # Unreachable under the shipped policies (a trainer can
+                    # only fail during its own step-done, before any release),
+                    # but a future policy releasing early must not start a
+                    # downed trainer.
+                    pending_release[rank] = True
+                    continue
+                if not policy.can_start(rank):
+                    continue  # the policy holds the trainer (and starts it itself)
+                starts.append(rank)
+            if len(starts) == 1:
+                start_step(starts[0])
+            elif starts:
+                run_requests(starts, floor=ev.time)
 
         def start_step(rank: int) -> None:
-            nonlocal total_minibatches
-            trainer = trainers[rank]
-            # Open this trainer's RPC coalescing window for its current round
-            # *before* advancing the pipeline generator — the halo fetch runs
-            # inside next().  Same-machine trainers in the same round share
-            # the window (begin_step with an unchanged id is idempotent), so
-            # barrier-mode coalescing matches the lockstep engine's, which
-            # also opens the round's windows before any trainer fetches.
-            trainer.rpc.begin_step(policy.coalescing_round(rank))
-            try:
-                batch = next(state["iterators"][rank])
-            except StopIteration:
-                mark_exhausted(rank)
-                return
-            policy.before_step(rank)
-            timing, loss, n_correct, n_seen, grads = train_step(
-                setup.cost_models[rank],
-                trainer,
-                batch,
-                model,
-                pipelines[rank].timing,
-                trainer_steps[rank],
-            )
-            trainer_steps[rank] += 1
-            state["epoch_steps"][rank] += 1
-            total_minibatches += 1
-            accumulators[rank].add(timing)
-            grads = policy.process_step(rank, grads)
-            loop.push(
-                trainer.clock.time,
-                "step-done",
-                rank,
-                contribution=StepContribution(rank, loss, n_correct, n_seen, grads),
-                step_critical=timing.critical_path,
+            run_requests([rank])
+
+        def start_steps(ranks: List[int]) -> None:
+            run_requests(list(ranks))
+
+        def run_requests(ranks: List[int], floor: Optional[float] = None) -> None:
+            """Step *ranks* (ascending) through the execution backend.
+
+            Opens each trainer's RPC coalescing window for its current round
+            *before* advancing the pipeline generator — the halo fetch runs
+            inside next().  Same-machine trainers in the same round share the
+            window (begin_step with an unchanged id is idempotent), so
+            barrier-mode coalescing matches the lockstep engine's, which also
+            opens the round's windows before any trainer fetches.
+
+            ``floor`` guards batched same-time releases: a zero-duration step
+            would let its completion event overtake an already-collected
+            ready event, diverging from the serial order, so it is an error.
+            """
+            requests = [(r, policy.coalescing_round(r)) for r in ranks]
+            multi = len(ranks) > 1
+
+            def on_outcome(out: StepOutcome) -> None:
+                nonlocal total_minibatches
+                if floor is not None and multi and out.clock_time <= floor:
+                    raise RuntimeError(
+                        f"zero-duration step for trainer {out.rank} in a "
+                        f"batched release at t={floor}: batched execution "
+                        f"requires strictly positive step durations"
+                    )
+                trainer_steps[out.rank] += 1
+                state["epoch_steps"][out.rank] += 1
+                total_minibatches += 1
+                grads = policy.process_step(out.rank, out.grads)
+                loop.push(
+                    out.clock_time,
+                    "step-done",
+                    out.rank,
+                    contribution=StepContribution(
+                        out.rank, out.loss, out.n_correct, out.n_seen, grads
+                    ),
+                    step_critical=out.critical_path,
+                )
+
+            backend.run_steps(
+                requests,
+                before_step=policy.before_step,
+                on_outcome=on_outcome,
+                on_exhausted=mark_exhausted,
             )
 
         def on_step_done(ev: Event) -> None:
@@ -280,6 +344,8 @@ class AsyncClusterEngine:
             record_round=record_round,
             record_step=record_step,
             start_step=start_step,
+            start_steps=start_steps,
+            apply_update=backend.apply_update,
         )
         policy.bind(ctx)
 
@@ -288,8 +354,8 @@ class AsyncClusterEngine:
         previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
 
         for epoch in range(config.epochs):
+            backend.begin_epoch()
             state = {
-                "iterators": [iter(pl.epoch()) for pl in pipelines],
                 "active": [True] * world,
                 "epoch_done": [False] * world,
                 "epoch_steps": [0] * world,
@@ -316,7 +382,7 @@ class AsyncClusterEngine:
             policy.on_epoch_end()
 
             epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
-            hit_rates = [pl.hit_rate for pl in pipelines if pl.hit_rate is not None]
+            hit_rates = [h for h in backend.epoch_hit_rates() if h is not None]
             losses = state["losses"]
             epoch_records.append(
                 EpochRecord(
@@ -330,20 +396,18 @@ class AsyncClusterEngine:
                 )
             )
             previous_epoch_end = epoch_end
-            for pl in pipelines:
-                if pl.feature_store is not None:
-                    pl.feature_store.end_epoch()
+            backend.end_epoch()
 
         policy.on_run_end()
         if self.record_events:
             self.event_history = list(loop.history)
 
+        artifacts = backend.collect_artifacts()
         report = assemble_training_report(
             mode=setup.mode,
             cluster=cluster,
             train_config=config,
-            pipelines=pipelines,
-            accumulators=accumulators,
+            artifacts=artifacts,
             epoch_records=epoch_records,
             init_reports=setup.init_reports,
             total_minibatches=total_minibatches,
@@ -355,10 +419,10 @@ class AsyncClusterEngine:
         return ClusterReport(
             report=report,
             trainer_stats=collect_trainer_stats(
-                cluster, pipelines, trainer_steps, barrier_waits, sync_extras
+                cluster, artifacts, trainer_steps, barrier_waits, sync_extras
             ),
             scenario=self.scenario,
-            store_summary=merged_store_summary(pipelines),
+            store_summary=merged_store_summary_from_artifacts(artifacts),
             engine="async",
             sync=policy.describe(),
         )

@@ -48,12 +48,11 @@ from repro.distributed.ddp import allreduce_gradients
 from repro.features.store import merge_store_summaries
 from repro.nn import build_model, build_optimizer
 from repro.sampling.pipeline import MiniBatchPipeline
+from repro.training.artifacts import TrainerArtifacts
 from repro.training.config import TrainConfig
 from repro.training.engine import (
     PipelineBuilder,
-    apply_averaged_gradients,
     assemble_training_report,
-    train_step,
 )
 from repro.training.pipelines import PIPELINES
 from repro.training.telemetry import (
@@ -383,35 +382,35 @@ def prepare_cluster_run(
 
 def collect_trainer_stats(
     cluster: SimCluster,
-    pipelines: List[MiniBatchPipeline],
+    artifacts: List[TrainerArtifacts],
     trainer_steps: List[int],
     barrier_waits: List[float],
     sync_extras: Optional[List[Dict[str, float]]] = None,
 ) -> List[TrainerRunStats]:
-    """Per-trainer telemetry roll-up shared by both cluster engines."""
+    """Per-trainer telemetry roll-up shared by both cluster engines.
+
+    Consumes :class:`~repro.training.artifacts.TrainerArtifacts` snapshots so
+    the roll-up is identical whether trainers ran inline or in worker
+    processes (the snapshots are the execution-backend boundary).
+    """
     stats: List[TrainerRunStats] = []
-    for i, (trainer, pl) in enumerate(zip(cluster.trainers, pipelines)):
+    for i, art in enumerate(artifacts):
         stats.append(
             TrainerRunStats(
-                global_rank=trainer.global_rank,
-                machine=trainer.machine,
-                local_rank=trainer.local_rank,
-                simulated_time_s=trainer.clock.time,
+                global_rank=art.global_rank,
+                machine=art.machine,
+                local_rank=art.local_rank,
+                simulated_time_s=art.clock_time,
                 barrier_wait_s=barrier_waits[i],
                 num_steps=trainer_steps[i],
-                compute_multiplier=cluster.config.compute_multiplier(trainer.machine),
-                hit_rate=pl.hit_rate,
-                rpc_stats=trainer.rpc.stats.as_dict(),
-                components=trainer.clock.breakdown(),
+                compute_multiplier=cluster.config.compute_multiplier(art.machine),
+                hit_rate=art.hit_rate,
+                rpc_stats=art.rpc_stats.as_dict(),
+                components=dict(art.clock_breakdown),
                 store_summary=(
-                    pl.feature_store.summary() if pl.feature_store is not None else {}
+                    dict(art.store_summary) if art.store_summary is not None else {}
                 ),
-                cache_stats=(
-                    pl.feature_store.cache_summary()
-                    if pl.feature_store is not None
-                    and hasattr(pl.feature_store, "cache_summary")
-                    else {}
-                ),
+                cache_stats=dict(art.cache_summary),
                 sync_stats=(
                     dict(sync_extras[i]) if sync_extras is not None else {}
                 ),
@@ -427,20 +426,41 @@ def merged_store_summary(pipelines: List[MiniBatchPipeline]) -> Dict[str, float]
     )
 
 
+def merged_store_summary_from_artifacts(
+    artifacts: List[TrainerArtifacts],
+) -> Dict[str, float]:
+    """Cluster-wide feature-store summary from per-trainer artifact snapshots."""
+    return merge_store_summaries(
+        art.store_summary for art in artifacts if art.store_summary is not None
+    )
+
+
 class ClusterEngine:
-    """Run one minibatch pipeline per trainer across a simulated cluster."""
+    """Run one minibatch pipeline per trainer across a simulated cluster.
+
+    ``execution_backend`` selects where trainer steps run
+    (:data:`~repro.training.backends.EXECUTION_BACKENDS`): ``inline`` keeps
+    the historical in-process loop, ``process-pool`` fans machines out to
+    ``workers`` parallel processes with bit-identical reports.
+    """
 
     def __init__(
         self,
         cluster: SimCluster,
         train_config: TrainConfig,
         scenario: Optional[str] = None,
+        execution_backend: str = "inline",
+        workers: Optional[int] = None,
     ):
+        from repro.training.backends import EXECUTION_BACKENDS
+
         self.cluster = cluster
         self.config = train_config
         self.cost_model = cluster.cost_model
         self.dataset = cluster.dataset
         self.scenario = scenario
+        self.execution_backend = EXECUTION_BACKENDS.resolve(execution_backend)
+        self.workers = workers
         cluster.validate_seed_coverage()
 
     # ------------------------------------------------------------------ #
@@ -460,114 +480,116 @@ class ClusterEngine:
         forwarded when set, so custom builders with the historical signature
         keep working.
         """
+        from repro.training.backends import EXECUTION_BACKENDS, StepOutcome
+
         cluster, config = self.cluster, self.config
-        setup = prepare_cluster_run(
-            cluster, config, pipeline, prefetch_config, eviction_policy, cache_config
+        backend = EXECUTION_BACKENDS.build(
+            self.execution_backend, cluster, config, workers=self.workers
         )
-        model, optimizer = setup.model, setup.optimizer
-        num_params = setup.num_params
-        cost_models, pipelines, mode = setup.cost_models, setup.pipelines, setup.mode
-        trainers = cluster.trainers
-        world = len(trainers)
+        try:
+            setup = backend.prepare(pipeline, prefetch_config, eviction_policy, cache_config)
+            model = setup.model
+            num_params = setup.num_params
+            mode = setup.mode
+            trainers = cluster.trainers
+            world = len(trainers)
 
-        accumulators = setup.accumulators
-        trainer_steps = [0] * world
-        barrier_waits = [0.0] * world
-        total_minibatches = 0
-        global_step = 0  # monotone step id driving RPC coalescing windows
-        epoch_records: List[EpochRecord] = []
-        previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+            accumulators = setup.accumulators
+            trainer_steps = [0] * world
+            barrier_waits = [0.0] * world
+            total_minibatches = 0
+            global_step = 0  # monotone step id driving RPC coalescing windows
+            epoch_records: List[EpochRecord] = []
+            previous_epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
 
-        for epoch in range(config.epochs):
-            iterators = [iter(pl.epoch()) for pl in pipelines]
-            active = [True] * world
-            losses: List[float] = []
-            correct = 0
-            seen = 0
-            steps_this_epoch = 0
+            for epoch in range(config.epochs):
+                backend.begin_epoch()
+                active = [True] * world
+                losses: List[float] = []
+                correct = 0
+                seen = 0
+                steps_this_epoch = 0
 
-            while any(active):
-                if (
-                    config.max_steps_per_epoch is not None
-                    and steps_this_epoch >= config.max_steps_per_epoch
-                ):
-                    break
-                # Open this step's RPC coalescing window (no-op on per-call
-                # channels); every trainer's fetches below share it.
-                for trainer in trainers:
-                    trainer.rpc.begin_step(global_step)
-                global_step += 1
-                step_grads: List[Dict[str, np.ndarray]] = []
-                participated: List[int] = []
-                for i, trainer in enumerate(trainers):
-                    if not active[i]:
-                        continue
-                    try:
-                        batch = next(iterators[i])
-                    except StopIteration:
-                        active[i] = False
-                        continue
-                    timing, loss, n_correct, n_seen, grads = train_step(
-                        cost_models[i],
-                        trainer,
-                        batch,
-                        model,
-                        pipelines[i].timing,
-                        trainer_steps[i],
+                while any(active):
+                    if (
+                        config.max_steps_per_epoch is not None
+                        and steps_this_epoch >= config.max_steps_per_epoch
+                    ):
+                        break
+                    requests = [(i, global_step) for i in range(world) if active[i]]
+                    step_grads: List[Dict[str, np.ndarray]] = []
+                    participated: List[int] = []
+
+                    def on_outcome(out: StepOutcome) -> None:
+                        nonlocal total_minibatches, correct, seen
+                        trainer_steps[out.rank] += 1
+                        total_minibatches += 1
+                        losses.append(out.loss)
+                        correct += out.n_correct
+                        seen += out.n_seen
+                        step_grads.append(out.grads)
+                        participated.append(out.rank)
+
+                    def on_exhausted(rank: int) -> None:
+                        active[rank] = False
+
+                    # One fused round: every trainer's RPC coalescing window
+                    # opens for the step (no-op on per-call channels), then
+                    # the active trainers step in rank order.
+                    backend.run_steps(
+                        requests,
+                        begin_step_all=global_step,
+                        on_outcome=on_outcome,
+                        on_exhausted=on_exhausted,
                     )
-                    trainer_steps[i] += 1
-                    total_minibatches += 1
-                    accumulators[i].add(timing)
-                    losses.append(loss)
-                    correct += n_correct
-                    seen += n_seen
-                    step_grads.append(grads)
-                    participated.append(i)
+                    global_step += 1
 
-                if not step_grads:
-                    break
-                averaged = allreduce_gradients(step_grads)
-                self._allreduce_barrier(participated, accumulators, barrier_waits, num_params)
-                apply_averaged_gradients(optimizer, model, averaged)
-                steps_this_epoch += 1
+                    if not step_grads:
+                        break
+                    averaged = allreduce_gradients(step_grads)
+                    self._allreduce_barrier(
+                        participated, accumulators, barrier_waits, num_params
+                    )
+                    backend.apply_update(averaged)
+                    steps_this_epoch += 1
 
-            epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
-            hit_rates = [pl.hit_rate for pl in pipelines if pl.hit_rate is not None]
-            epoch_records.append(
-                EpochRecord(
-                    epoch=epoch,
-                    simulated_time_s=epoch_end - previous_epoch_end,
-                    loss=float(np.mean(losses)) if losses else 0.0,
-                    train_accuracy=correct / seen if seen else 0.0,
-                    hit_rate=float(np.mean(hit_rates)) if hit_rates else None,
+                epoch_end = max(t.clock.time for t in trainers) if trainers else 0.0
+                hit_rates = [h for h in backend.epoch_hit_rates() if h is not None]
+                epoch_records.append(
+                    EpochRecord(
+                        epoch=epoch,
+                        simulated_time_s=epoch_end - previous_epoch_end,
+                        loss=float(np.mean(losses)) if losses else 0.0,
+                        train_accuracy=correct / seen if seen else 0.0,
+                        hit_rate=float(np.mean(hit_rates)) if hit_rates else None,
+                    )
                 )
-            )
-            previous_epoch_end = epoch_end
-            for pl in pipelines:
-                if pl.feature_store is not None:
-                    pl.feature_store.end_epoch()
+                previous_epoch_end = epoch_end
+                backend.end_epoch()
 
-        report = assemble_training_report(
-            mode=mode,
-            cluster=cluster,
-            train_config=config,
-            pipelines=pipelines,
-            accumulators=accumulators,
-            epoch_records=epoch_records,
-            init_reports=setup.init_reports,
-            total_minibatches=total_minibatches,
-            wall_clock_s=time.perf_counter() - setup.wall_start,
-            model=model,
-            prefetch_config=prefetch_config,
-        )
+            artifacts = backend.collect_artifacts()
+            report = assemble_training_report(
+                mode=mode,
+                cluster=cluster,
+                train_config=config,
+                artifacts=artifacts,
+                epoch_records=epoch_records,
+                init_reports=setup.init_reports,
+                total_minibatches=total_minibatches,
+                wall_clock_s=time.perf_counter() - setup.wall_start,
+                model=model,
+                prefetch_config=prefetch_config,
+            )
+        finally:
+            backend.close()
         self._final_model = model
         return ClusterReport(
             report=report,
             trainer_stats=collect_trainer_stats(
-                cluster, pipelines, trainer_steps, barrier_waits
+                cluster, artifacts, trainer_steps, barrier_waits
             ),
             scenario=self.scenario,
-            store_summary=merged_store_summary(pipelines),
+            store_summary=merged_store_summary_from_artifacts(artifacts),
         )
 
     # ------------------------------------------------------------------ #

@@ -37,9 +37,10 @@ from repro.core.eviction import EvictionPolicy
 from repro.distributed.clock import synchronize
 from repro.distributed.cluster import SimCluster, TrainerContext
 from repro.distributed.ddp import allreduce_gradients
-from repro.distributed.rpc import aggregate_rpc_stats
+from repro.distributed.rpc import merge_rpc_stats
 from repro.nn import build_model, build_optimizer, cross_entropy
 from repro.sampling.pipeline import MiniBatchPipeline, PipelineBatch
+from repro.training.artifacts import TrainerArtifacts, collect_trainer_artifacts
 from repro.training.config import TrainConfig
 from repro.training.evaluate import evaluate_accuracy
 from repro.training.pipelines import PIPELINES
@@ -138,8 +139,7 @@ def assemble_training_report(
     mode: str,
     cluster: SimCluster,
     train_config: TrainConfig,
-    pipelines: List[MiniBatchPipeline],
-    accumulators: List[ComponentAccumulator],
+    artifacts: List["TrainerArtifacts"],
     epoch_records: List[EpochRecord],
     init_reports: List[Dict[str, float]],
     total_minibatches: int,
@@ -149,33 +149,36 @@ def assemble_training_report(
 ) -> TrainingReport:
     """Assemble the :class:`TrainingReport` for one completed run.
 
-    Shared by :class:`TrainingEngine` and the cluster engine so both produce
-    reports with identical numerics from identical run state.  Trainers, the
-    dataset, and the cost model are derived from *cluster* so a caller cannot
-    pass an inconsistent combination.
+    Shared by :class:`TrainingEngine` and the cluster engines so both produce
+    reports with identical numerics from identical run state.  Per-trainer
+    state arrives as :class:`~repro.training.artifacts.TrainerArtifacts`
+    snapshots (in global-rank order) — plain data rather than live objects, so
+    the process-pool execution backend can ship the same inputs across a
+    process boundary and land on the same floats.
     """
     config = train_config
-    trainers = cluster.trainers
     cost_model = cluster.cost_model
     dataset = cluster.dataset
     num_params = model.num_parameters()
-    total_time = max(t.clock.time for t in trainers) if trainers else 0.0
+    accumulators = [a.accumulator for a in artifacts]
+    total_time = max(a.clock_time for a in artifacts) if artifacts else 0.0
     breakdown_means = [acc.mean() for acc in accumulators]
     mean_breakdown: Dict[str, float] = {}
     for key in ComponentAccumulator.FIELDS:
         totals = [acc.totals[key] for acc in accumulators]
         mean_breakdown[key] = float(np.mean(totals)) if totals else 0.0
-    overlapped = any(
-        pl.timing is not None and getattr(pl.timing, "overlaps_preparation", False)
-        for pl in pipelines
-    )
+    overlapped = any(a.overlaps_preparation for a in artifacts)
     overlap = (
         float(np.mean([acc.overlap_efficiency() for acc in accumulators]))
         if overlapped and accumulators
         else 1.0
     )
-    trackers = [pl.hit_tracker for pl in pipelines if pl.hit_tracker is not None]
-    prefetchers = [pl.prefetcher for pl in pipelines if pl.prefetcher is not None]
+    trackers = [a.hit_tracker for a in artifacts if a.hit_tracker is not None]
+    buffer_nbytes = [
+        a.prefetcher_buffer_nbytes
+        for a in artifacts
+        if a.prefetcher_buffer_nbytes is not None
+    ]
 
     report = TrainingReport(
         mode=mode,
@@ -190,7 +193,7 @@ def assemble_training_report(
         epoch_records=epoch_records,
         component_breakdown=mean_breakdown,
         per_trainer_breakdown=breakdown_means,
-        rpc_stats=aggregate_rpc_stats([t.rpc for t in trainers]),
+        rpc_stats=merge_rpc_stats([a.rpc_stats for a in artifacts]),
         hit_tracker=merge_trainer_hit_trackers(trackers) if trackers else None,
         per_trainer_hit_trackers=trackers,
         prefetch_init=init_reports,
@@ -199,21 +202,31 @@ def assemble_training_report(
         num_minibatches=total_minibatches,
         config_description=prefetch_config.describe() if prefetch_config else mode,
     )
-    if prefetchers:
-        report.extras["mean_buffer_nbytes"] = float(
-            np.mean([p.buffer_nbytes() for p in prefetchers])
-        )
+    if buffer_nbytes:
+        report.extras["mean_buffer_nbytes"] = float(np.mean(buffer_nbytes))
         report.extras["mean_scoreboard_nbytes"] = float(
-            np.mean([p.scoreboard_nbytes() for p in prefetchers])
+            np.mean(
+                [
+                    a.prefetcher_scoreboard_nbytes
+                    for a in artifacts
+                    if a.prefetcher_scoreboard_nbytes is not None
+                ]
+            )
         )
         report.extras["remote_nodes_fetched_prefetch"] = float(
-            np.sum([p.counters.remote_nodes_fetched for p in prefetchers])
+            np.sum(
+                [
+                    a.prefetcher_remote_nodes_fetched
+                    for a in artifacts
+                    if a.prefetcher_remote_nodes_fetched is not None
+                ]
+            )
         )
-    stores = [pl.feature_store for pl in pipelines if pl.feature_store is not None]
-    if stores:
-        report.extras["mean_feature_store_nbytes"] = float(
-            np.mean([store.nbytes() for store in stores])
-        )
+    store_nbytes = [
+        a.feature_store_nbytes for a in artifacts if a.feature_store_nbytes is not None
+    ]
+    if store_nbytes:
+        report.extras["mean_feature_store_nbytes"] = float(np.mean(store_nbytes))
 
     if config.evaluate:
         report.val_accuracy = evaluate_accuracy(
@@ -429,8 +442,7 @@ class TrainingEngine:
             mode=mode,
             cluster=cluster,
             train_config=config,
-            pipelines=pipelines,
-            accumulators=accumulators,
+            artifacts=collect_trainer_artifacts(cluster, pipelines, accumulators),
             epoch_records=epoch_records,
             init_reports=init_reports,
             total_minibatches=total_minibatches,

@@ -63,6 +63,21 @@ def _reject_serving(serving, engine: str) -> None:
         )
 
 
+def _reject_pool(execution_backend: str, workers: Optional[int], engine: str) -> None:
+    from repro.training.backends import EXECUTION_BACKENDS
+
+    if EXECUTION_BACKENDS.resolve(execution_backend) != "inline":
+        raise ValueError(
+            f"the {engine} engine only runs on the inline execution backend "
+            f"(got execution_backend={execution_backend!r})"
+        )
+    if workers is not None:
+        raise ValueError(
+            f"a worker count only applies to the process-pool execution "
+            f"backend (got workers={workers!r} with engine={engine!r})"
+        )
+
+
 @ENGINES.register("lockstep", aliases=("sync", "bsp"))
 def _build_lockstep(
     cluster: SimCluster,
@@ -74,6 +89,8 @@ def _build_lockstep(
     failures: Optional[FailureSpec] = None,
     serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
+    execution_backend: str = "inline",
+    workers: Optional[int] = None,
 ) -> ClusterEngine:
     if SYNC_POLICIES.resolve(sync) != "allreduce-barrier":
         raise ValueError(
@@ -86,7 +103,13 @@ def _build_lockstep(
             "transient failures require the event-driven backend (engine='async')"
         )
     _reject_serving(serving, "lockstep")
-    return ClusterEngine(cluster, train_config, scenario=scenario)
+    return ClusterEngine(
+        cluster,
+        train_config,
+        scenario=scenario,
+        execution_backend=execution_backend,
+        workers=workers,
+    )
 
 
 @ENGINES.register("async", aliases=("event", "event-driven"))
@@ -100,6 +123,8 @@ def _build_async(
     failures: Optional[FailureSpec] = None,
     serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
+    execution_backend: str = "inline",
+    workers: Optional[int] = None,
 ) -> AsyncClusterEngine:
     _reject_serving(serving, "async")
     return AsyncClusterEngine(
@@ -110,6 +135,8 @@ def _build_async(
         sync_options=sync_policy_options(sync, staleness, sync_period),
         failures=failures,
         record_events=record_events,
+        execution_backend=execution_backend,
+        workers=workers,
     )
 
 
@@ -124,9 +151,12 @@ def _build_serving(
     failures: Optional[FailureSpec] = None,
     serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
+    execution_backend: str = "inline",
+    workers: Optional[int] = None,
 ) -> "InferenceClusterEngine":
     from repro.serving.engine import InferenceClusterEngine
 
+    _reject_pool(execution_backend, workers, "serving")
     if serving is None:
         raise ValueError(
             "the serving engine needs a ServingSpec (scenario field 'serving' "

@@ -1,0 +1,254 @@
+"""Differential tests pinning the process-pool execution backend to inline.
+
+The pool backend (:mod:`repro.training.backends`) fans whole machines out to
+worker processes over shared-memory exports and merges step outcomes at the
+parent's sync points in rank order.  The contract is *bit identity*: reports,
+event histories, and final weights must equal the inline backend's — which is
+itself byte-identical to the historical in-process loops (pinned by the
+golden fixtures).  These tests run the golden 2x2 workload plus straggler and
+bounded-staleness variants through both backends and diff everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.config import PrefetchConfig
+from repro.core.eviction import build_eviction_policy
+from repro.distributed.cluster import ClusterConfig, SimCluster
+from repro.graph.datasets import load_dataset
+from repro.serving.arrivals import ServingSpec
+from repro.training.async_engine import AsyncClusterEngine
+from repro.training.backends import (
+    EXECUTION_BACKENDS,
+    InlineExecutionBackend,
+    ProcessPoolExecutionBackend,
+    build_execution_backend,
+)
+from repro.training.cluster_engine import ClusterEngine
+from repro.training.config import TrainConfig
+from repro.training.engines import build_engine
+
+PREFETCH = PrefetchConfig(halo_fraction=0.35, gamma=0.995, delta=8)
+
+
+@pytest.fixture(scope="module")
+def golden_dataset():
+    """The golden fixture's dataset (products analog, scale 0.05, seed 5)."""
+    return load_dataset("products", scale=0.05, seed=5)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    """A smaller products analog for the async/spawn differentials."""
+    return load_dataset("products", scale=0.03, seed=5)
+
+
+def _config(**overrides) -> ClusterConfig:
+    base = dict(num_machines=2, trainers_per_machine=2, batch_size=64,
+                fanouts=(5, 10), seed=7)
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+def _assert_models_equal(a, b):
+    sa, sb = a.state_dict(), b.state_dict()
+    assert sorted(sa) == sorted(sb)
+    for key in sa:
+        np.testing.assert_array_equal(sa[key], sb[key], err_msg=key)
+
+
+class TestRegistry:
+    def test_names_and_aliases(self):
+        names = set(EXECUTION_BACKENDS.names())
+        assert {"inline", "process-pool"} <= names
+        assert EXECUTION_BACKENDS.resolve("serial") == "inline"
+        assert EXECUTION_BACKENDS.resolve("pool") == "process-pool"
+        assert EXECUTION_BACKENDS.resolve("mp") == "process-pool"
+
+    def test_build_returns_right_class(self, tiny_dataset):
+        cluster = SimCluster(tiny_dataset, _config())
+        tc = TrainConfig(epochs=1, hidden_dim=32, seed=1)
+        assert type(build_execution_backend("inline", cluster, tc)) \
+            is InlineExecutionBackend
+        pool = build_execution_backend("pool", cluster, tc, workers=2)
+        assert type(pool) is ProcessPoolExecutionBackend
+        assert "process-pool" in pool.describe()
+
+    def test_workers_clamped_to_machines(self, tiny_dataset):
+        cluster = SimCluster(tiny_dataset, _config())
+        tc = TrainConfig(epochs=1, hidden_dim=32, seed=1)
+        assert ProcessPoolExecutionBackend(cluster, tc, workers=8).workers == 2
+        assert ProcessPoolExecutionBackend(cluster, tc).workers == 2
+        with pytest.raises(ValueError, match="workers"):
+            ProcessPoolExecutionBackend(cluster, tc, workers=0)
+
+
+class TestLockstepDifferential:
+    def test_golden_2x2_bit_identical(self, golden_dataset):
+        """The golden 2x2 prefetch workload: pool == inline, bit for bit."""
+        tc = TrainConfig(epochs=2, hidden_dim=32, seed=1)
+        inline = ClusterEngine(SimCluster(golden_dataset, _config()), tc)
+        ra = inline.run("prefetch", prefetch_config=PREFETCH)
+        pooled = ClusterEngine(
+            SimCluster(golden_dataset, _config()), tc,
+            execution_backend="process-pool", workers=2,
+        )
+        rb = pooled.run("prefetch", prefetch_config=PREFETCH)
+        assert ra.as_dict() == rb.as_dict()
+        _assert_models_equal(inline.final_model, pooled.final_model)
+
+    def test_straggler_machine_bit_identical(self, tiny_dataset):
+        """Heterogeneous compute (one slow machine) merges identically."""
+        config = _config(compute_multipliers=(2.5, 1.0))
+        tc = TrainConfig(epochs=1, hidden_dim=32, seed=1)
+        ra = ClusterEngine(SimCluster(tiny_dataset, config), tc).run(
+            "massivegnn", prefetch_config=PREFETCH)
+        rb = ClusterEngine(
+            SimCluster(tiny_dataset, config), tc,
+            execution_backend="process-pool", workers=2,
+        ).run("massivegnn", prefetch_config=PREFETCH)
+        assert ra.as_dict() == rb.as_dict()
+
+    def test_single_worker_pool_bit_identical(self, tiny_dataset):
+        """workers=1 still crosses the process boundary and still matches."""
+        tc = TrainConfig(epochs=1, hidden_dim=32, seed=1)
+        ra = ClusterEngine(SimCluster(tiny_dataset, _config()), tc).run(
+            "prefetch", prefetch_config=PREFETCH)
+        rb = ClusterEngine(
+            SimCluster(tiny_dataset, _config()), tc,
+            execution_backend="process-pool", workers=1,
+        ).run("prefetch", prefetch_config=PREFETCH)
+        assert ra.as_dict() == rb.as_dict()
+
+    def test_spawn_start_method_bit_identical(self, tiny_dataset, monkeypatch):
+        """The spawn start method (no inherited state at all) also matches."""
+        monkeypatch.setattr(
+            ProcessPoolExecutionBackend, "_resolved_start_method",
+            lambda self: "spawn",
+        )
+        tc = TrainConfig(epochs=1, hidden_dim=32, seed=1)
+        ra = ClusterEngine(SimCluster(tiny_dataset, _config()), tc).run(
+            "prefetch", prefetch_config=PREFETCH)
+        rb = ClusterEngine(
+            SimCluster(tiny_dataset, _config()), tc,
+            execution_backend="process-pool", workers=2,
+        ).run("prefetch", prefetch_config=PREFETCH)
+        assert ra.as_dict() == rb.as_dict()
+
+
+class TestAsyncDifferential:
+    def _run(self, dataset, backend, *, sync, sync_options=None, config=None):
+        engine = AsyncClusterEngine(
+            SimCluster(dataset, config or _config()),
+            TrainConfig(epochs=1, hidden_dim=32, seed=1),
+            sync=sync, sync_options=sync_options, record_events=True,
+            execution_backend=backend,
+            workers=2 if backend == "process-pool" else None,
+        )
+        report = engine.run("massivegnn", prefetch_config=PREFETCH)
+        return report, engine.event_history
+
+    def test_barrier_bit_identical(self, tiny_dataset):
+        ra, ha = self._run(tiny_dataset, "inline", sync="allreduce-barrier")
+        rb, hb = self._run(tiny_dataset, "process-pool", sync="allreduce-barrier")
+        assert ra.as_dict() == rb.as_dict()
+        assert ha == hb
+
+    def test_bounded_staleness_bit_identical(self, tiny_dataset):
+        ra, ha = self._run(tiny_dataset, "inline", sync="bounded-staleness",
+                           sync_options={"staleness": 2})
+        rb, hb = self._run(tiny_dataset, "process-pool", sync="bounded-staleness",
+                           sync_options={"staleness": 2})
+        assert ra.as_dict() == rb.as_dict()
+        assert ha == hb
+
+    def test_straggler_barrier_bit_identical(self, tiny_dataset):
+        config = _config(compute_multipliers=(2.5, 1.0))
+        ra, ha = self._run(tiny_dataset, "inline", sync="allreduce-barrier",
+                           config=config)
+        rb, hb = self._run(tiny_dataset, "process-pool", sync="allreduce-barrier",
+                           config=config)
+        assert ra.as_dict() == rb.as_dict()
+        assert ha == hb
+
+
+class TestRejections:
+    def test_inline_rejects_workers(self, tiny_dataset):
+        tc = TrainConfig(epochs=1, hidden_dim=32, seed=1)
+        with pytest.raises(ValueError, match="worker count"):
+            ClusterEngine(
+                SimCluster(tiny_dataset, _config()), tc,
+                execution_backend="inline", workers=2,
+            ).run("baseline")
+
+    def test_pool_rejects_local_sgd(self, tiny_dataset):
+        engine = AsyncClusterEngine(
+            SimCluster(tiny_dataset, _config()),
+            TrainConfig(epochs=1, hidden_dim=32, seed=1),
+            sync="local-sgd", execution_backend="process-pool", workers=2,
+        )
+        with pytest.raises(ValueError, match="local-sgd"):
+            engine.run("baseline")
+
+    def test_pool_rejects_callable_pipeline(self, tiny_dataset):
+        backend = ProcessPoolExecutionBackend(
+            SimCluster(tiny_dataset, _config()),
+            TrainConfig(epochs=1, hidden_dim=32, seed=1), workers=2,
+        )
+        try:
+            with pytest.raises(ValueError, match="registry pipeline name"):
+                backend.prepare(lambda *a, **k: None, PREFETCH, None, None)
+        finally:
+            backend.close()
+
+    def test_pool_rejects_live_eviction_policy(self, tiny_dataset):
+        backend = ProcessPoolExecutionBackend(
+            SimCluster(tiny_dataset, _config()),
+            TrainConfig(epochs=1, hidden_dim=32, seed=1), workers=2,
+        )
+        policy = build_eviction_policy("score-threshold", seed=0)
+        try:
+            with pytest.raises(ValueError, match="eviction-policy"):
+                backend.prepare("prefetch", PREFETCH, policy, None)
+        finally:
+            backend.close()
+
+    def test_serving_engine_rejects_pool(self, tiny_dataset):
+        cluster = SimCluster(tiny_dataset, _config())
+        tc = TrainConfig(epochs=1, hidden_dim=32, seed=1)
+        with pytest.raises(ValueError, match="inline execution backend"):
+            build_engine("serving", cluster, tc, serving=ServingSpec(),
+                         execution_backend="process-pool")
+        with pytest.raises(ValueError, match="worker count"):
+            build_engine("serving", cluster, tc, serving=ServingSpec(), workers=2)
+
+
+class TestCli:
+    def test_run_header_prints_backend_and_workers(self, capsys):
+        code = main([
+            "run", "--cluster", "--scenario", "uniform", "--scale", "0.03",
+            "--epochs", "1", "--execution-backend", "process-pool",
+            "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=process-pool (2 workers)" in out
+
+    def test_workers_on_inline_exits_2(self, capsys):
+        code = main(["run", "--cluster", "--scenario", "uniform", "--workers", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--execution-backend process-pool" in err
+
+    def test_execution_backend_flag_implies_cluster(self, capsys):
+        code = main([
+            "run", "--scale", "0.03", "--epochs", "1",
+            "--execution-backend", "inline",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'uniform'" in out
+        assert "backend=inline" in out

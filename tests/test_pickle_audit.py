@@ -1,0 +1,104 @@
+"""Pickle audit: every spec object a pool worker receives must round-trip.
+
+The process-pool execution backend ships a :class:`~repro.training.backends.
+TrainerTask` to worker processes; everything reachable from it — the config
+and spec dataclasses, registry recipes, shared-memory handles — must survive
+``pickle.loads(pickle.dumps(x)) == x`` under any start method (``spawn``
+inherits nothing, so equality after the round trip is the whole contract).
+A config that pickles by reference to live state fails here first, not as a
+hang inside a worker.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.core.config import PrefetchConfig
+from repro.distributed.cluster import ClusterConfig
+from repro.distributed.cost_model import CostModel
+from repro.events.schedule import CongestionSpec, FailureSpec
+from repro.graph.csr import SharedCSRHandle
+from repro.graph.datasets import DatasetSpec, load_dataset
+from repro.scenarios import SCENARIOS
+from repro.serving.arrivals import ServingSpec
+from repro.training.backends import TrainerTask
+from repro.training.config import TrainConfig
+
+SPEC_OBJECTS = {
+    "cluster-config": ClusterConfig(
+        num_machines=2, trainers_per_machine=2, batch_size=64,
+        fanouts=(5, 10), seed=7,
+    ),
+    "cluster-config-loaded": ClusterConfig(
+        num_machines=3, trainers_per_machine=1, batch_size=32, fanouts=(4,),
+        seed=3, compute_multipliers=(2.0, 1.0, 1.0), sampler="vectorized",
+        rpc="batched", congestion=CongestionSpec(),
+    ),
+    "train-config": TrainConfig(epochs=2, hidden_dim=32, seed=1, evaluate=True),
+    "prefetch-config": PrefetchConfig(halo_fraction=0.35, gamma=0.995, delta=8),
+    "cache-config": CacheConfig(tiers=2, admission="always", eviction="lru"),
+    "cost-model-cpu": CostModel.preset("cpu"),
+    "cost-model-gpu-scaled": CostModel.preset("gpu").scaled(rpc_latency_s=2.0),
+    "failure-spec": FailureSpec(rate=0.05),
+    "congestion-spec": CongestionSpec(),
+    "serving-spec": ServingSpec(),
+    "dataset-spec": load_dataset("arxiv", scale=0.1, seed=0).spec,
+    "shared-csr-handle": SharedCSRHandle(
+        indptr_path="/tmp/x_indptr.npy", indices_path="/tmp/x_indices.npy",
+        num_nodes=8,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_OBJECTS))
+def test_spec_round_trips(name):
+    obj = SPEC_OBJECTS[name]
+    clone = pickle.loads(pickle.dumps(obj))
+    assert clone == obj
+    assert type(clone) is type(obj)
+
+
+def test_dataset_spec_type():
+    assert isinstance(SPEC_OBJECTS["dataset-spec"], DatasetSpec)
+
+
+@pytest.mark.parametrize("name", SCENARIOS.names())
+def test_registered_scenarios_round_trip(name):
+    scenario = SCENARIOS.build(name)
+    assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+
+def test_trainer_task_round_trips(tmp_path):
+    """A fully loaded TrainerTask (the actual worker payload) round-trips."""
+    import numpy as np
+
+    from repro.distributed.cluster import SimCluster
+    from repro.features.shared import export_shared_dataset
+    from repro.utils.rng import spawn_worker_seed
+
+    dataset = load_dataset("arxiv", scale=0.1, seed=0)
+    cluster = SimCluster(dataset, SPEC_OBJECTS["cluster-config"])
+    payloads = {pid: store.shared_arrays() for pid, store in cluster.servers.items()}
+    handle = export_shared_dataset(
+        dataset, cluster.partition_result, payloads, str(tmp_path)
+    )
+    task = TrainerTask(
+        worker_index=1, num_workers=2, machines=(1,), ranks=(2, 3),
+        cluster_config=SPEC_OBJECTS["cluster-config"],
+        train_config=SPEC_OBJECTS["train-config"],
+        pipeline="massivegnn",
+        prefetch_config=SPEC_OBJECTS["prefetch-config"],
+        cache_config=SPEC_OBJECTS["cache-config"],
+        cost_model=SPEC_OBJECTS["cost-model-cpu"],
+        dataset=handle,
+        worker_seed=spawn_worker_seed(7, 1),
+    )
+    clone = pickle.loads(pickle.dumps(task))
+    assert clone == task
+    # The nested dataset handle must also round-trip on its own.
+    assert pickle.loads(pickle.dumps(handle)) == handle
+    assert isinstance(clone.worker_seed, int)
+    assert np.array_equal(clone.machines, task.machines)
