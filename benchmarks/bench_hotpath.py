@@ -21,6 +21,11 @@ quantities the sampler→fetch→prefetch hot path is judged on:
   bit-identical to inline; on a multi-core runner the pool at max workers
   must also beat inline wall clock (``--min-pool-speedup``, skipped on
   single-core runners where parallel speedup is physically impossible).
+* **elastic scale-out overhead** — simulated per-epoch critical paths and the
+  migration-byte ledger of the ``scale-out-burst`` scenario vs. a held-back
+  twin whose joins are stripped.  The run asserts every scheduled join lands,
+  the joiners pay a nonzero migration ledger, the post-join epoch beats the
+  held baseline's, and a rebuilt run reproduces the report bit for bit.
 
 Run::
 
@@ -244,6 +249,68 @@ def bench_fetch_throughput(scenario_scale: float, steps: int):
 
 
 # --------------------------------------------------------------------------- #
+# Part 5: elastic scale-out (migration cost vs. post-join critical path)
+# --------------------------------------------------------------------------- #
+def bench_elasticity(scenario_scale: float):
+    """What the scale-out joins buy (epoch time) and cost (migration bytes).
+
+    The elastic run starts two of four trainers held out and joins them early
+    in epoch 0; the baseline keeps the same ranks held out for the whole run
+    (the joins stripped from the spec, everything else identical).  Post-join
+    epochs must beat the held baseline's — that is the capacity the migration
+    bytes paid for.
+    """
+    from repro.events.schedule import ElasticSpec
+
+    def run(**overrides):
+        workload = (
+            SCENARIOS.build("scale-out-burst")
+            .with_overrides(scale=scenario_scale, **overrides)
+            .materialize(seed=0)
+        )
+        return workload, workload.run()
+
+    elastic_wl, elastic = run()
+    spec = elastic_wl.scenario.elastic
+    _, held = run(elastic=ElasticSpec(initially_inactive=spec.initially_inactive))
+    _, again = run()
+    assert elastic.as_dict() == again.as_dict(), (
+        "elastic scale-out run must be bit-identical across rebuilds at one seed"
+    )
+
+    def epoch_times(report):
+        return [r.simulated_time_s for r in report.report.epoch_records]
+
+    def ledger(report, key):
+        return sum(t.sync_stats.get(key, 0.0) for t in report.trainer_stats)
+
+    elastic_epochs, held_epochs = epoch_times(elastic), epoch_times(held)
+    post_join, held_last = elastic_epochs[-1], held_epochs[-1]
+    assert ledger(elastic, "joins") == len(spec.joins), "every scheduled join must land"
+    migration_bytes = ledger(elastic, "migration_bytes")
+    assert migration_bytes > 0, "joiners must pay for their migrated seed rows"
+    assert post_join < held_last, (
+        "post-join epoch must beat the held-back baseline's critical path"
+    )
+    return {
+        "scenario": "scale-out-burst",
+        "scale": scenario_scale,
+        "epochs": len(elastic_epochs),
+        "elastic_epoch_times_s": elastic_epochs,
+        "held_epoch_times_s": held_epochs,
+        "elastic_critical_path_s": elastic.critical_path_time_s,
+        "held_critical_path_s": held.critical_path_time_s,
+        "post_join_epoch_time_s": post_join,
+        "held_last_epoch_time_s": held_last,
+        "post_join_improvement_percent": 100.0 * (1.0 - post_join / held_last),
+        "migration_bytes": migration_bytes,
+        "migration_time_s": ledger(elastic, "migration_s"),
+        "joins": ledger(elastic, "joins"),
+        "rebalances": ledger(elastic, "rebalances"),
+    }
+
+
+# --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--graph-nodes", type=int, default=100_000,
@@ -282,6 +349,9 @@ def main(argv=None) -> int:
                         help="fail if the pool's speedup over inline at max "
                              "workers falls below this (CI gate; skipped on "
                              "single-core runners)")
+    parser.add_argument("--elastic-scale", type=float, default=0.05,
+                        help="dataset scale for the elastic scale-out comparison; "
+                             "0 skips the section")
     parser.add_argument("--out", type=Path, default=Path("BENCH_hotpath.json"))
     args = parser.parse_args(argv)
 
@@ -294,7 +364,7 @@ def main(argv=None) -> int:
         print(f"    vectorized speedup: {result['speedup_vectorized_over_loop']:.1f}x over loop, "
               f"{result['speedup_vectorized_over_legacy']:.1f}x over legacy")
 
-    print(f"[1/4] sampler bench: {args.rounds} x {args.batch_size} seeds, "
+    print(f"[1/5] sampler bench: {args.rounds} x {args.batch_size} seeds, "
           f"fanouts {args.fanouts}")
     smoke_graph, _ = planted_partition_graph(
         args.graph_nodes, num_communities=10, avg_degree=15, intra_fraction=0.7, seed=7
@@ -310,7 +380,7 @@ def main(argv=None) -> int:
         )
         report("hub-stress", sampler["hub_stress"])
 
-    print(f"[2/4] hot-halo RPC: scale {args.scenario_scale}, {args.epochs} epoch(s)")
+    print(f"[2/5] hot-halo RPC: scale {args.scenario_scale}, {args.epochs} epoch(s)")
     rpc = bench_hot_halo_rpc(args.scenario_scale, args.epochs)
     for channel, row in rpc["per_channel"].items():
         print(f"    {channel:>9}: wire requests {int(row['requests']):6d}   "
@@ -320,13 +390,13 @@ def main(argv=None) -> int:
     print(f"    wire-request reduction: {rpc['wire_request_reduction_percent']:.1f}% "
           f"(identical numerics, identical logical rows)")
 
-    print(f"[3/4] fetch throughput: {args.fetch_steps} buffered hot-halo minibatches")
+    print(f"[3/5] fetch throughput: {args.fetch_steps} buffered hot-halo minibatches")
     fetch = bench_fetch_throughput(args.scenario_scale, args.fetch_steps)
     print(f"    {fetch['rows_per_s']:,.0f} rows/s over {fetch['rows_fetched']} rows")
 
     execution_backends = None
     if args.pool_scale > 0:
-        print(f"[4/4] execution backends: 4x1 lockstep, scale {args.pool_scale}, "
+        print(f"[4/5] execution backends: 4x1 lockstep, scale {args.pool_scale}, "
               f"{args.pool_epochs} epoch(s), workers {args.pool_workers}")
         execution_backends = bench_execution_backends(
             args.pool_scale, args.pool_epochs, args.pool_batch_size,
@@ -337,6 +407,20 @@ def main(argv=None) -> int:
         for point in execution_backends["curve"]:
             print(f"    pool@{point['workers']}: {point['wall_s']:.2f}s wall   "
                   f"{point['speedup_vs_inline']:.2f}x vs inline   (bit-identical)")
+
+    elasticity = None
+    if args.elastic_scale > 0:
+        print(f"[5/5] elasticity: scale-out-burst vs. held-back twin, "
+              f"scale {args.elastic_scale}")
+        elasticity = bench_elasticity(args.elastic_scale)
+        print("    elastic epochs: "
+              + "  ".join(f"{t*1e3:.3f}ms" for t in elasticity["elastic_epoch_times_s"]))
+        print("    held epochs:    "
+              + "  ".join(f"{t*1e3:.3f}ms" for t in elasticity["held_epoch_times_s"]))
+        print(f"    post-join improvement: "
+              f"{elasticity['post_join_improvement_percent']:.1f}% over held baseline "
+              f"({int(elasticity['migration_bytes'])} bytes migrated across "
+              f"{elasticity['joins']:.0f} joins)")
 
     payload = {
         "benchmark": "hotpath",
@@ -349,6 +433,7 @@ def main(argv=None) -> int:
             "fanouts": args.fanouts,
             "scenario_scale": args.scenario_scale,
             "epochs": args.epochs,
+            "elastic_scale": args.elastic_scale,
         },
         "sampler": sampler,
         "rpc": rpc,
@@ -356,6 +441,8 @@ def main(argv=None) -> int:
     }
     if execution_backends is not None:
         payload["execution_backends"] = execution_backends
+    if elasticity is not None:
+        payload["elasticity"] = elasticity
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
 

@@ -6,9 +6,9 @@ committed ``BENCH_hotpath.json`` and fails on hot-path slowdowns.  Two
 classes of metric are treated differently:
 
 * **machine-independent** metrics — wire-request reduction, cache hit rates,
-  policy hit-rate gains, simulated critical-path reductions — are
-  deterministic given the same benchmark config, so they get tight tolerance
-  bands;
+  policy hit-rate gains, simulated critical-path reductions, the elastic
+  migration-byte ledger — are deterministic given the same benchmark config,
+  so they get tight tolerance bands;
 * **machine-dependent** metrics — the vectorized-sampler speedup and the
   process-pool wall-clock speedup — vary with the runner's hardware, so they
   get a wide relative band plus a hard floor (vectorized must never be slower
@@ -240,6 +240,30 @@ def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
             "simulated latency, deterministic at fixed seed/config; growth past "
             "the band is a real hot-path regression",
         ))
+
+    # ---- elasticity: simulated times + deterministic migration ledger ----
+    path = "elasticity.post_join_improvement_percent"
+    base, now = _get(baseline, path), _get(fresh, path)
+    if now is not None:
+        checks.append(Check(
+            "elastic.post_join_beats_held_baseline", None, now, 0.0, now > 0.0,
+            "hard floor: epochs after the scale-out joins must beat the "
+            "held-back baseline's critical path",
+        ))
+        if base is not None:
+            threshold = base - reduction_abs
+            checks.append(Check(
+                "elastic.post_join_improvement_vs_baseline", base, now, threshold,
+                now >= threshold,
+                "simulated-time ratio: identical config must reproduce the improvement",
+            ))
+    path = "elasticity.migration_bytes"
+    base, now = _get(baseline, path), _get(fresh, path)
+    if base is not None and now is not None:
+        checks.append(Check(
+            "elastic.migration_bytes_deterministic", base, now, base, now == base,
+            "counter-derived: the migrated-row ledger is exact at fixed seed/config",
+        ))
     return checks
 
 
@@ -260,6 +284,10 @@ def report_only_metrics(fresh: dict) -> dict:
         "serving.diurnal.phase_p99_ms": _get(fresh, "serving.diurnal.phase_p99_ms"),
         "execution_backends.curve": _get(fresh, "execution_backends.curve"),
         "execution_backends.cpu_count": _get(fresh, "execution_backends.cpu_count"),
+        "elasticity.elastic_epoch_times_s": _get(
+            fresh, "elasticity.elastic_epoch_times_s"
+        ),
+        "elasticity.held_epoch_times_s": _get(fresh, "elasticity.held_epoch_times_s"),
     }
 
 

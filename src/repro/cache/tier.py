@@ -365,6 +365,52 @@ class CacheTier:
         self.stats.admissions += int(len(admitted))
         return int(len(admitted))
 
+    def invalidate(self) -> int:
+        """Drop every resident row (elastic partition migration, cold policy).
+
+        Returns the number of rows dropped; they are counted as evictions so
+        the ledger reconciles.  Capacity, policies, and the scorer survive —
+        only the resident set goes cold.
+        """
+        dropped = self.size
+        self._ids = np.zeros(0, dtype=np.int64)
+        self._rows = np.zeros((0, self.feature_dim), dtype=np.float32)
+        self._last_access = np.zeros(0, dtype=np.int64)
+        self._freq = np.zeros(0, dtype=np.int64)
+        self._ref = np.zeros(0, dtype=bool)
+        self._degrees = np.zeros(0, dtype=np.int64)
+        self.clock_hand = 0
+        self.stats.evictions += dropped
+        return dropped
+
+    def snapshot(self) -> Dict[str, object]:
+        """Checkpointable tier contents: resident arrays, counters, capacity."""
+        return {
+            "capacity": self.capacity,
+            "clock_hand": self.clock_hand,
+            "last_step": self.last_step,
+            "ids": self._ids.copy(),
+            "rows": self._rows.copy(),
+            "last_access": self._last_access.copy(),
+            "freq": self._freq.copy(),
+            "ref": self._ref.copy(),
+            "degrees": self._degrees.copy(),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rewind the tier to a :meth:`snapshot` (bit-exact resident set)."""
+        self.capacity = int(state["capacity"])
+        self.clock_hand = int(state["clock_hand"])
+        self.last_step = int(state["last_step"])
+        self._ids = state["ids"].copy()
+        self._rows = state["rows"].copy()
+        self._last_access = state["last_access"].copy()
+        self._freq = state["freq"].copy()
+        self._ref = state["ref"].copy()
+        self._degrees = state["degrees"].copy()
+        self.stats = state["stats"].snapshot()
+
     def resize(self, new_capacity: int, step: int = 0) -> int:
         """Change capacity; shrinking evicts overflow via the eviction policy.
 

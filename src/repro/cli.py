@@ -67,6 +67,7 @@ from repro.graph.datasets import available_datasets, load_dataset
 from repro.sampling.neighbor_sampler import SAMPLERS
 from repro.scenarios import (
     SCENARIOS,
+    UNSET,
     available_scenarios,
     catalog_markdown,
     serving_scenarios,
@@ -176,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sync-period", type=int, default=None, dest="sync_period",
         help="steps between model averages with --sync local-sgd "
              "(default: the scenario's, 4)",
+    )
+    run.add_argument(
+        "--no-elastic", action="store_true", dest="no_elastic",
+        help="strip the scenario's elastic membership schedule (ElasticSpec): "
+             "every trainer stays active for the whole run — the no-elasticity "
+             "baseline the elastic scenarios are compared against",
     )
     run.add_argument(
         "--execution-backend", default=None, choices=EXECUTION_BACKENDS.names(),
@@ -441,6 +448,7 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
         sync_period=args.sync_period,
         execution_backend=args.execution_backend,
         workers=args.workers,
+        elastic=UNSET if args.no_elastic else None,
     )
     # A sync-policy knob only has meaning on the event-driven backend; flip
     # the engine rather than letting the lockstep factory reject it when the
@@ -583,6 +591,24 @@ def _cmd_run_cluster(args: argparse.Namespace) -> int:
         if failures:
             line += f", {int(failures)} failures ({downtime:.4f}s downtime)"
         print(line)
+        joins = sum(t.sync_stats.get("joins", 0.0) for t in report.trainer_stats)
+        leaves = sum(t.sync_stats.get("leaves", 0.0) for t in report.trainer_stats)
+        rebalances = sum(
+            t.sync_stats.get("rebalances", 0.0) for t in report.trainer_stats
+        )
+        restores = sum(t.sync_stats.get("restores", 0.0) for t in report.trainer_stats)
+        if joins or leaves or rebalances or restores:
+            migration_bytes = sum(
+                t.sync_stats.get("migration_bytes", 0.0) for t in report.trainer_stats
+            )
+            migration_s = sum(
+                t.sync_stats.get("migration_s", 0.0) for t in report.trainer_stats
+            )
+            print(
+                f"elastic: {int(joins)} joins, {int(leaves)} leaves, "
+                f"{int(rebalances)} rebalances, {int(restores)} restores, "
+                f"{int(migration_bytes)} bytes migrated ({migration_s:.4f}s migration)"
+            )
 
     if args.trace_dir is not None:
         import json

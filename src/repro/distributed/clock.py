@@ -6,7 +6,9 @@ of a training step advance the clock and tag the time with a component label
 ``eviction``, ``allreduce``, ``stall``, ``downtime``) so that the Fig. 9
 style breakdowns can be regenerated exactly from the recorded ledger
 (``downtime`` is the transient-failure outage the event-driven engine's
-``trainer-flaky`` scenario injects).  The serving engine adds two labels of
+``trainer-flaky`` scenario injects, and ``migration`` is the data-movement
+cost of elastic rebalances — seed-ownership re-splits, partition adoption,
+and checkpoint-restore transfers).  The serving engine adds two labels of
 its own: ``compute`` (forward-only inference, distinct from training's
 ``ddp``) and ``idle`` (a worker waiting for the next request to arrive —
 wall time on the serving timeline, but not work).
@@ -30,6 +32,7 @@ KNOWN_COMPONENTS = (
     "allreduce",
     "stall",
     "downtime",
+    "migration",
     "init",
     "other",
     "compute",
@@ -64,6 +67,17 @@ class SimClock:
     def breakdown(self) -> Dict[str, float]:
         """Copy of the per-component ledger."""
         return dict(self.components)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Checkpointable state: current time plus the component ledger."""
+        return {"time": float(self.time), "components": dict(self.components)}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rewind the clock to a :meth:`snapshot` (bit-exact)."""
+        self.time = float(state["time"])
+        self.components = defaultdict(float)
+        for component, seconds in state["components"].items():  # type: ignore[union-attr]
+            self.components[component] = float(seconds)
 
     def reset(self) -> None:
         self.time = 0.0

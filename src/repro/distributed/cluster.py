@@ -211,6 +211,11 @@ class SimCluster:
         # so consecutive runs start cold like everything else.
         self._shared_cache_tiers: Dict[int, object] = {}
         self.trainers: List[TrainerContext] = self._spawn_trainers()
+        # Pristine seed assignment, kept so reset() can undo elastic
+        # re-splits (identity comparison keeps the non-elastic path free).
+        self._original_seeds: List[np.ndarray] = [
+            t.seeds_local for t in self.trainers
+        ]
 
     # ------------------------------------------------------------------ #
     def _spawn_trainers(self) -> List[TrainerContext]:
@@ -313,6 +318,81 @@ class SimCluster:
             self._shared_cache_tiers[machine] = tier
         return tier
 
+    # ------------------------------------------------------------------ #
+    # Elastic membership: seed re-splits and partition adoption
+    # ------------------------------------------------------------------ #
+    def partition_host(self, machine: int) -> int:
+        """The machine currently hosting partition *machine* (itself until
+        an elastic drain migrates the partition to a surviving machine)."""
+        return self._server_objects[machine].host_machine
+
+    def rebalance_seeds(
+        self, machine: int, active_local_ranks: Sequence[int], salt: int
+    ) -> Dict[int, int]:
+        """Re-split *machine*'s training seeds across its active trainers.
+
+        Re-runs the :class:`SeedPartitioner` over the machine's training
+        nodes with only ``active_local_ranks`` as targets (salted so each
+        rebalance draws a fresh deterministic split), mutates every affected
+        trainer's loader in place, and returns ``{global_rank: seeds_gained}``
+        — the number of seed rows newly assigned to each active trainer,
+        which the engine charges as migration traffic.  Inactive trainers on
+        the machine are stripped to an empty assignment.
+        """
+        config = self.config
+        active = sorted(int(r) for r in active_local_ranks)
+        if not active:
+            raise ValueError(f"machine {machine} has no active trainers to rebalance")
+        partition = self.partitions[machine]
+        train_local = np.nonzero(self.dataset.train_mask[partition.owned_global])[0]
+        train_local = train_local.astype(np.int64)
+        seed_partitioner = SeedPartitioner(
+            train_local,
+            len(active),
+            seed=derive_seed(config.seed, 211, machine, int(salt)),
+        )
+        gained: Dict[int, int] = {}
+        empty = np.zeros(0, dtype=np.int64)
+        for local_rank in range(config.trainers_per_machine):
+            global_rank = machine * config.trainers_per_machine + local_rank
+            trainer = self.trainers[global_rank]
+            if local_rank in active:
+                new_seeds = seed_partitioner.trainer_seeds(active.index(local_rank))
+                gained[global_rank] = int(
+                    np.setdiff1d(new_seeds, trainer.seeds_local).size
+                )
+                trainer.seeds_local = new_seeds
+                trainer.dataloader.reassign_seeds(new_seeds)
+            elif len(trainer.seeds_local):
+                trainer.seeds_local = empty
+                trainer.dataloader.reassign_seeds(empty)
+        return gained
+
+    def migrate_partition(
+        self, part_id: int, new_host: int, cache_policy: str = "invalidate"
+    ) -> int:
+        """Adopt partition *part_id* onto *new_host*, returning bytes moved.
+
+        Re-points the :class:`~repro.distributed.server.PartitionServer`
+        registration and returns the KVStore payload size (plus the shared
+        cache tier's rows under the ``"warm"`` policy — under
+        ``"invalidate"`` the tier is dropped cold instead).  The caller
+        charges the returned bytes through the cost model; a no-op move
+        (already hosted there) returns 0.
+        """
+        server = self._server_objects[part_id]
+        if server.host_machine == int(new_host):
+            return 0
+        nbytes = int(server.kvstore.nbytes())
+        tier = self._shared_cache_tiers.get(part_id)
+        if tier is not None:
+            if cache_policy == "warm":
+                nbytes += int(tier.nbytes())
+            else:
+                tier.invalidate()
+        server.re_register(new_host)
+        return nbytes
+
     def cost_model_for_machine(self, machine: int) -> CostModel:
         """Per-machine cost model honoring the config's compute multipliers.
 
@@ -349,13 +429,19 @@ class SimCluster:
             )
 
     def reset(self) -> None:
-        """Reset clocks, RPC counters, loader steps, and KVStore counters."""
-        for trainer in self.trainers:
+        """Reset clocks, RPC counters, loader steps, and KVStore counters
+        (and undo any elastic seed re-splits / partition adoptions)."""
+        for trainer, original in zip(self.trainers, self._original_seeds):
             trainer.clock.reset()
             trainer.rpc.reset_stats()
             trainer.dataloader.reset()
+            if trainer.seeds_local is not original:
+                trainer.seeds_local = original
+                trainer.dataloader.reassign_seeds(original)
         for server in self._server_objects:
             server.reset_stats()
+            server.host_machine = server.part_id
+            server.migrations = 0
         for window in self._rpc_windows:
             if window is not None:
                 window.deactivate()

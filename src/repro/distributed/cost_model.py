@@ -152,6 +152,13 @@ class CostModel:
         """Forward + backward + parameter update time for *flops* floating ops."""
         return max(0.0, flops) / self.compute_flops_per_s
 
+    def time_migration(self, num_bytes: int) -> float:
+        """Bulk state movement (partition adoption, seed re-split, checkpoint
+        restore): one RPC latency plus the payload over network bandwidth."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.rpc_latency_s + num_bytes / self.network_bandwidth_Bps
+
     def time_allreduce(self, num_params: int, world_size: int) -> float:
         """Ring-allreduce time for *num_params* float32 gradients across *world_size* trainers."""
         if world_size <= 1:

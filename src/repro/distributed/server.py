@@ -5,6 +5,12 @@ structure and node features.  :class:`PartitionServer` is the simulated
 equivalent — it wraps the partition's :class:`~repro.distributed.kvstore.KVStore`
 and exposes the queries a trainer needs (feature pulls, degree lookups for
 prefetch initialization, label pulls for loss computation).
+
+Under elastic membership a partition can outlive its home machine: when every
+trainer on a machine leaves, the partition is adopted by a surviving machine.
+``host_machine`` tracks the current host (initially the partition id itself)
+and :meth:`re_register` re-points it — ownership stays a lookup that can be
+re-pointed at runtime, with the row movement costed by the engine.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ class PartitionServer:
             )
         self.kvstore = kvstore
         self._labels = labels
+        self.host_machine = partition.part_id
+        self.migrations = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -69,6 +77,14 @@ class PartitionServer:
         """Global degrees for nodes present in this partition (owned or halo)."""
         local = self.partition.local_ids(global_ids)
         return self.partition.global_degrees[local]
+
+    def re_register(self, new_host: int) -> None:
+        """Re-point this partition at a new host machine (elastic adoption)."""
+        new_host = int(new_host)
+        if new_host < 0:
+            raise ValueError(f"host machine must be >= 0, got {new_host}")
+        self.host_machine = new_host
+        self.migrations += 1
 
     def stats(self) -> Dict[str, int]:
         return self.kvstore.stats.as_dict()

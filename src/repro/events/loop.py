@@ -18,6 +18,13 @@ as a ``(kind, timestamp, rank, seq)`` tuple for exactly that comparison.
 Events are cancelled lazily (:meth:`EventLoop.cancel` marks them and
 :meth:`EventLoop.pop` discards marked entries), the standard trick for
 mutable schedules over :mod:`heapq`.
+
+Event *kinds* are engine-defined strings.  The async training engine uses
+``step-ready``/``step-done`` for scheduling, ``fail``/``recover`` for the
+transient-failure machinery, and ``join``/``leave``/``rebalance`` for the
+elastic-membership timeline (a materialized
+:class:`~repro.events.schedule.ElasticSchedule` is pushed up front and
+interleaves with step events by simulated time).
 """
 
 from __future__ import annotations

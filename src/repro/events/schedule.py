@@ -1,10 +1,23 @@
-"""Deterministic fault and congestion schedules for the event-driven engine.
+"""Deterministic stress schedules for the event-driven engine.
 
-Both schedules are pure functions of a seed and a handful of spec fields, so
-the failure/congestion behaviour of a run replays **bit-identically**: the
-same seed produces the same fail/recover event sequence and the same latency
-multipliers at the same simulated instants (pinned by
-``tests/test_async_engine.py``).
+Every stress input — trainer failures, RPC congestion, elastic membership —
+is expressed as a frozen *spec* dataclass implementing the
+:class:`ScheduleSpec` protocol, so the engine consumes them all through one
+seam:
+
+* ``validate()`` re-runs the eager ``__post_init__`` checks (useful after a
+  pickle round-trip or a hand-constructed spec);
+* ``describe()`` renders the short human label used by the scenario catalog
+  (``repro scenarios --markdown``) and ``ClusterScenario.execution``;
+* ``materialize(world_size, seed)`` expands the spec into the runtime object
+  the engine actually consults — a per-rank plan, a time profile, or an event
+  schedule.  Materialization is a pure function of ``(spec, world_size,
+  seed)``, so the stress behaviour of a run replays **bit-identically**: the
+  same seed produces the same fail/recover/join/leave sequence and the same
+  latency multipliers at the same simulated instants (pinned by
+  ``tests/test_async_engine.py`` and ``tests/test_elastic.py``).
+
+The shipped specs (also listed in :data:`SCHEDULE_SPECS`):
 
 * :class:`FailureSpec` / :class:`FailureSchedule` — transient trainer
   outages.  Failures are keyed by *lifetime step index* rather than absolute
@@ -19,12 +32,17 @@ multipliers at the same simulated instants (pinned by
   effective bandwidth divided.  Fed through
   :class:`~repro.distributed.cost_model.CongestedCostModel`, which reads the
   trainer's simulated clock at fetch time.
+* :class:`ElasticSpec` / :class:`ElasticSchedule` — dynamic cluster
+  membership.  Ranks can start held out (``initially_inactive``), join at a
+  simulated instant, or leave; each membership change triggers a rebalance
+  event in the async engine that re-splits seed ownership on the affected
+  machine and migrates partition rows through the cost model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,8 +50,34 @@ from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive
 
 
+class ScheduleSpec:
+    """Protocol base for seeded stress-schedule specs.
+
+    Subclasses are frozen dataclasses with eager ``__post_init__`` validation;
+    the base adds the uniform seam the engine and the catalog consume:
+    ``kind`` (registry key), ``validate()``, ``describe()``, and
+    ``materialize(world_size, seed)``.
+    """
+
+    kind = "schedule"
+
+    def validate(self) -> None:
+        """Re-run the eager construction-time checks (no-op when valid)."""
+        post_init = getattr(self, "__post_init__", None)
+        if post_init is not None:
+            post_init()
+
+    def describe(self) -> str:
+        """Short human label for catalogs and ``ClusterScenario.execution``."""
+        raise NotImplementedError
+
+    def materialize(self, world_size: int, seed: int):
+        """Expand into the runtime object the engine consults during a run."""
+        raise NotImplementedError
+
+
 @dataclass(frozen=True)
-class FailureSpec:
+class FailureSpec(ScheduleSpec):
     """Parameters of the seeded transient-failure process (per trainer).
 
     ``rate`` is the per-step failure probability; ``min_downtime_steps`` /
@@ -41,6 +85,8 @@ class FailureSpec:
     step's critical-path time; ``horizon_steps`` is how many lifetime steps of
     schedule are drawn per trainer (steps beyond the horizon never fail).
     """
+
+    kind = "failures"
 
     rate: float = 0.05
     min_downtime_steps: float = 3.0
@@ -55,6 +101,12 @@ class FailureSpec:
         if self.max_downtime_steps < self.min_downtime_steps:
             raise ValueError("max_downtime_steps must be >= min_downtime_steps")
         check_positive(self.horizon_steps, "horizon_steps")
+
+    def describe(self) -> str:
+        return f"failures(rate={self.rate:g})"
+
+    def materialize(self, world_size: int, seed: int) -> "FailureSchedule":
+        return FailureSchedule(self, world_size, seed)
 
 
 class FailureSchedule:
@@ -89,7 +141,7 @@ class FailureSchedule:
 
 
 @dataclass(frozen=True)
-class CongestionSpec:
+class CongestionSpec(ScheduleSpec):
     """A periodic square-wave congestion profile on the RPC fabric.
 
     For simulated time *t*, the link is congested when
@@ -98,6 +150,8 @@ class CongestionSpec:
     by ``bandwidth_divisor``.  Defaults are sized for smoke-scale runs (step
     times in the 0.1–1 ms range), giving several bursts per epoch.
     """
+
+    kind = "congestion"
 
     period_s: float = 2.0e-3
     duty: float = 0.5
@@ -122,3 +176,154 @@ class CongestionSpec:
         if self.congested_at(time_s):
             return (self.latency_multiplier, self.bandwidth_divisor)
         return (1.0, 1.0)
+
+    def describe(self) -> str:
+        return f"congestion(x{self.latency_multiplier:g}, {self.duty:.0%} duty)"
+
+    def materialize(self, world_size: int, seed: int) -> "CongestionSpec":
+        """The spec is its own runtime profile (pure function of time)."""
+        return self
+
+
+_CACHE_POLICIES = ("invalidate", "warm")
+
+
+@dataclass(frozen=True)
+class ElasticSpec(ScheduleSpec):
+    """A seeded join/leave schedule for elastic cluster membership.
+
+    ``initially_inactive`` ranks exist in the cluster topology but hold no
+    seeds and run no steps until they join.  ``joins`` / ``leaves`` are
+    ``(rank, time_s)`` pairs in simulated seconds; an optional uniform
+    ``jitter_s`` perturbs each instant deterministically (salted per event).
+    ``cache_policy`` picks what happens to a migrated partition's shared
+    cache tier: ``"invalidate"`` drops it cold on the new owner,
+    ``"warm"`` ships the cached rows along (charging their bytes too).
+
+    Membership changes take effect on trainer scheduling at the next epoch
+    boundary for joins (the joining rank participates from the following
+    ``on_epoch_start``), and immediately for leaves (the leaving rank is
+    drained after its in-flight step, if any).
+    """
+
+    kind = "elastic"
+
+    initially_inactive: Tuple[int, ...] = ()
+    joins: Tuple[Tuple[int, float], ...] = ()
+    leaves: Tuple[Tuple[int, float], ...] = ()
+    jitter_s: float = 0.0
+    cache_policy: str = "invalidate"
+
+    def __post_init__(self) -> None:
+        held = tuple(int(r) for r in self.initially_inactive)
+        joins = tuple((int(r), float(t)) for r, t in self.joins)
+        leaves = tuple((int(r), float(t)) for r, t in self.leaves)
+        object.__setattr__(self, "initially_inactive", held)
+        object.__setattr__(self, "joins", joins)
+        object.__setattr__(self, "leaves", leaves)
+        object.__setattr__(self, "jitter_s", float(self.jitter_s))
+        if len(set(held)) != len(held):
+            raise ValueError(f"duplicate ranks in initially_inactive: {held!r}")
+        for rank in held:
+            if rank < 0:
+                raise ValueError(f"initially_inactive ranks must be >= 0, got {rank}")
+        for label, events in (("joins", joins), ("leaves", leaves)):
+            for rank, time_s in events:
+                if rank < 0:
+                    raise ValueError(f"{label} ranks must be >= 0, got {rank}")
+                if time_s < 0.0:
+                    raise ValueError(f"{label} times must be >= 0, got {time_s!r}")
+        if self.jitter_s < 0.0:
+            raise ValueError(f"jitter_s must be >= 0, got {self.jitter_s!r}")
+        if self.cache_policy not in _CACHE_POLICIES:
+            raise ValueError(
+                f"cache_policy must be one of {_CACHE_POLICIES}, "
+                f"got {self.cache_policy!r}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the spec prescribes no membership change at all."""
+        return not (self.initially_inactive or self.joins or self.leaves)
+
+    def describe(self) -> str:
+        return (
+            f"elastic(hold {len(self.initially_inactive)}, "
+            f"+{len(self.joins)}, -{len(self.leaves)})"
+        )
+
+    def materialize(self, world_size: int, seed: int) -> "ElasticSchedule":
+        return ElasticSchedule(self, world_size, seed)
+
+
+class ElasticSchedule:
+    """The materialized membership timeline: jittered, sorted, validated.
+
+    ``events`` is a list of ``(time_s, kind, rank)`` with kind ``"join"`` or
+    ``"leave"``, sorted by ``(time_s, rank, kind)``; ``initially_inactive``
+    is the frozen set of ranks held out at construction.  Jitter draws come
+    from one child RNG (salt 883) in spec order — joins first, then leaves —
+    so the timeline is a pure function of ``(spec, seed)``.
+    """
+
+    def __init__(self, spec: ElasticSpec, world_size: int, seed: int):
+        self.spec = spec
+        self.world_size = int(world_size)
+        self.seed = int(seed)
+        for rank in spec.initially_inactive:
+            if rank >= self.world_size:
+                raise ValueError(
+                    f"initially_inactive rank {rank} out of range for "
+                    f"world size {self.world_size}"
+                )
+        if len(set(spec.initially_inactive)) >= self.world_size:
+            raise ValueError("at least one rank must start active")
+        rng = np.random.default_rng(derive_seed(seed, 883))
+        events: List[Tuple[float, str, int]] = []
+        for label, pairs in (("join", spec.joins), ("leave", spec.leaves)):
+            for rank, time_s in pairs:
+                if rank >= self.world_size:
+                    raise ValueError(
+                        f"{label} rank {rank} out of range for "
+                        f"world size {self.world_size}"
+                    )
+                jitter = float(rng.uniform(0.0, spec.jitter_s)) if spec.jitter_s else 0.0
+                events.append((time_s + jitter, label, rank))
+        events.sort(key=lambda ev: (ev[0], ev[2], ev[1]))
+        self.initially_inactive = frozenset(spec.initially_inactive)
+        self.events = events
+        self._check_alternation()
+
+    def _check_alternation(self) -> None:
+        """Joins must hit inactive ranks and leaves active ones, in time order."""
+        active = {
+            rank
+            for rank in range(self.world_size)
+            if rank not in self.initially_inactive
+        }
+        for time_s, kind, rank in self.events:
+            if kind == "join":
+                if rank in active:
+                    raise ValueError(
+                        f"join at t={time_s:g} targets rank {rank}, "
+                        "which is already active"
+                    )
+                active.add(rank)
+            else:
+                if rank not in active:
+                    raise ValueError(
+                        f"leave at t={time_s:g} targets rank {rank}, "
+                        "which is already inactive"
+                    )
+                active.discard(rank)
+
+    def total_events(self) -> int:
+        return len(self.events)
+
+
+#: Registry of schedule-spec kinds, in catalog display order.
+SCHEDULE_SPECS: Dict[str, type] = {
+    FailureSpec.kind: FailureSpec,
+    CongestionSpec.kind: CongestionSpec,
+    ElasticSpec.kind: ElasticSpec,
+}

@@ -137,7 +137,13 @@ class SyncPolicy:
       (replica-owning policies load/update their replica here);
     * :meth:`on_step_done` when the step's completion event pops;
     * :meth:`on_trainer_exhausted` when a trainer's epoch iterator ends (or
-      the per-epoch step cap refuses to schedule it again).
+      the per-epoch step cap refuses to schedule it again, or an elastic
+      leave detaches it mid-epoch).
+
+    ``active_ranks`` at :meth:`on_epoch_start` is the epoch's membership
+    roster — under elastic schedules it can be any subset of the world, and
+    every policy must complete the epoch with contributions from exactly
+    that roster (joined ranks appear in the next epoch's roster).
 
     Releasing a trainer is always the policy's job: every contribution must
     eventually be followed by a ``schedule_ready`` (or exhaustion), otherwise

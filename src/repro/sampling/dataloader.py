@@ -9,7 +9,7 @@ the same minibatches, which is what makes the comparison apples-to-apples.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -96,6 +96,29 @@ class DistDataLoader:
         """Yield sampled minibatches for one epoch."""
         for seeds in self.seed_iterator.epoch():
             yield self.sample(seeds)
+
+    def reassign_seeds(self, seeds_local: np.ndarray) -> None:
+        """Re-point this trainer at a new seed share (elastic re-sharding).
+
+        Delegates to :meth:`SeedIterator.reassign`, which mutates the
+        existing iterator in place so the prebuilt pipeline stages that hold
+        a reference to it see the new assignment from the next epoch on.
+        """
+        self.seed_iterator.reassign(seeds_local)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Checkpointable loader state: step counter + sampler RNG + seeds."""
+        return {
+            "step": self._step,
+            "sampler_rng_state": self.sampler.rng.bit_generator.state,
+            "seed_iterator": self.seed_iterator.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rewind to a :meth:`snapshot` (bit-exact sampler + seed streams)."""
+        self._step = int(state["step"])
+        self.sampler.rng.bit_generator.state = state["sampler_rng_state"]
+        self.seed_iterator.restore(state["seed_iterator"])
 
     def reset(self) -> None:
         """Reset the step and drift-epoch counters (between independent runs)."""

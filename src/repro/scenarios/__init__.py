@@ -29,6 +29,7 @@ drift-checks it).
 from repro.scenarios.catalog import catalog_markdown
 from repro.scenarios.registry import (
     SCENARIOS,
+    UNSET,
     ClusterScenario,
     ClusterWorkload,
     available_scenarios,
@@ -40,6 +41,7 @@ from repro.scenarios import library as _library  # noqa: F401  (registers the sc
 
 __all__ = [
     "SCENARIOS",
+    "UNSET",
     "ClusterScenario",
     "ClusterWorkload",
     "available_scenarios",

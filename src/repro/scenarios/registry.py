@@ -9,7 +9,7 @@ from repro.cache.config import CacheConfig
 from repro.core.config import PrefetchConfig
 from repro.distributed.cluster import ClusterConfig, SimCluster
 from repro.distributed.cost_model import CostModel
-from repro.events.schedule import CongestionSpec, FailureSpec
+from repro.events.schedule import CongestionSpec, ElasticSpec, FailureSpec
 from repro.graph.datasets import GraphDataset, load_dataset
 from repro.serving.arrivals import ServingSpec
 from repro.training.cluster_engine import ClusterReport
@@ -18,6 +18,30 @@ from repro.training.engines import ENGINES
 from repro.utils.registry import Registry
 
 SCENARIOS = Registry("scenario")
+
+
+class _Unset:
+    """Singleton marker: 'explicitly clear this field to None' in overrides.
+
+    ``with_overrides`` ignores ``None`` (so CLI flags pass through
+    unconditionally), which historically made it impossible to *clear* an
+    optional field like ``failures`` from a base scenario.  Passing ``UNSET``
+    maps the field to ``None`` explicitly.  The singleton survives pickling
+    (``__new__`` returns the module instance) so identity checks stay valid.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+
+UNSET = _Unset()
 
 
 @dataclass(frozen=True)
@@ -74,10 +98,12 @@ class ClusterScenario:
     # only applies to the pool (None = one worker per machine).
     execution_backend: str = "inline"
     workers: Optional[int] = None
-    # Event-driven stress inputs: a seeded transient-failure schedule and a
-    # time-varying RPC congestion profile (repro.events.schedule).
+    # Event-driven stress inputs (all repro.events.schedule ScheduleSpec
+    # implementations): a seeded transient-failure schedule, a time-varying
+    # RPC congestion profile, and an elastic membership timeline.
     failures: Optional[FailureSpec] = None
     congestion: Optional[CongestionSpec] = None
+    elastic: Optional[ElasticSpec] = None
     # Online-inference workload (engine="serving" only): the arrival process,
     # SLO, and popularity skew of the request stream (repro.serving.arrivals).
     serving: Optional[ServingSpec] = None
@@ -103,8 +129,25 @@ class ClusterScenario:
 
     # ------------------------------------------------------------------ #
     def with_overrides(self, **overrides) -> "ClusterScenario":
-        """A copy with selected fields replaced (CLI/benchmark knobs)."""
-        filtered = {k: v for k, v in overrides.items() if v is not None}
+        """A copy with selected fields replaced (CLI/benchmark knobs).
+
+        ``None`` values are ignored so CLI flags can be passed through
+        unconditionally; pass :data:`UNSET` to explicitly clear an optional
+        field to ``None`` (e.g. strip ``failures`` from a base scenario).
+        Unknown field names raise ``ValueError`` listing the valid keys.
+        """
+        valid = set(self.__dataclass_fields__)
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        filtered = {
+            k: (None if v is UNSET else v)
+            for k, v in overrides.items()
+            if v is not None
+        }
         if "num_machines" in filtered and "compute_multipliers" not in filtered:
             # Keep per-machine vectors aligned when the topology is resized.
             filtered["compute_multipliers"] = self._resize_multipliers(
@@ -165,6 +208,7 @@ class ClusterScenario:
             staleness=self.staleness,
             sync_period=self.sync_period,
             failures=self.failures,
+            elastic=self.elastic,
             serving=self.serving,
             execution_backend=self.execution_backend,
             workers=self.workers,

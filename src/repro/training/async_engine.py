@@ -28,6 +28,25 @@ The event loop is also where behaviours a barrier cannot express live:
   the engine by :class:`~repro.distributed.cost_model.CongestedCostModel`,
   which the event-driven clocks make meaningful (different trainers hit
   different bursts).
+* **elastic membership** (``scale-out-burst``/``cascading-failure``/
+  ``rolling-upgrade`` scenarios) — a seeded
+  :class:`~repro.events.schedule.ElasticSpec` holds ranks out, joins them, or
+  removes them mid-run.  Every membership change lands a ``rebalance`` event
+  that re-splits the machine's seed ownership (and adopts a fully drained
+  machine's partition onto a survivor); the data movement is charged through
+  :meth:`~repro.distributed.cost_model.CostModel.time_migration` as the
+  ``migration`` clock component.  Joins take effect on scheduling at the next
+  epoch boundary; leaves drain immediately (after the in-flight step, whose
+  gradient still counts).
+* **checkpoint/restore** (:mod:`repro.training.checkpoint`) — whenever
+  failures or elasticity are in play, the engine captures the consensus
+  model/optimizer state after every applied sync round; a trainer recovering
+  from an outage restores from the last checkpoint (resuming from its step,
+  not step 0) and pays the restore transfer as ``migration`` time.
+
+All stress inputs arrive through one seam: each spec implements
+:class:`~repro.events.schedule.ScheduleSpec` and the engine calls
+``spec.materialize(world_size, seed)`` to obtain the runtime schedule.
 
 Everything around the event core — run setup, per-step compute, telemetry
 roll-up — is shared with the lockstep engine via the module-level helpers in
@@ -45,9 +64,11 @@ from repro.cache.config import CacheConfig
 from repro.core.config import PrefetchConfig
 from repro.core.eviction import EvictionPolicy
 from repro.distributed.cluster import SimCluster
+from repro.distributed.cost_model import BYTES_PER_FEATURE
 from repro.events.loop import Event, EventLoop
-from repro.events.schedule import FailureSchedule, FailureSpec
+from repro.events.schedule import ElasticSpec, FailureSpec
 from repro.events.sync import SYNC_POLICIES, StepContribution, SyncContext
+from repro.training.checkpoint import CheckpointStore
 from repro.training.cluster_engine import (
     ClusterReport,
     collect_trainer_stats,
@@ -77,6 +98,12 @@ class AsyncClusterEngine:
     failures:
         Optional :class:`~repro.events.schedule.FailureSpec`; when set, a
         seeded schedule injects transient trainer outages.
+    elastic:
+        Optional :class:`~repro.events.schedule.ElasticSpec`; when set (and
+        non-empty), a seeded membership timeline holds ranks out, joins them,
+        or removes them mid-run, with seed ownership re-split and migration
+        charged on every change.  Requires the inline execution backend and
+        a sync policy without per-trainer replicas.
     record_events:
         Keep the popped-event history on :attr:`event_history` after a run
         (the determinism tests compare histories across runs).
@@ -90,6 +117,7 @@ class AsyncClusterEngine:
         sync: str = "allreduce-barrier",
         sync_options: Optional[Dict[str, object]] = None,
         failures: Optional[FailureSpec] = None,
+        elastic: Optional[ElasticSpec] = None,
         record_events: bool = False,
         execution_backend: str = "inline",
         workers: Optional[int] = None,
@@ -104,6 +132,7 @@ class AsyncClusterEngine:
         self.sync = SYNC_POLICIES.resolve(sync)
         self.sync_options = dict(sync_options or {})
         self.failures = failures
+        self.elastic = elastic
         self.record_events = record_events
         self.execution_backend = EXECUTION_BACKENDS.resolve(execution_backend)
         self.workers = workers
@@ -134,6 +163,20 @@ class AsyncClusterEngine:
                 f"and requires the inline execution backend "
                 f"(got {backend.name!r})"
             )
+        if self.elastic is not None and not self.elastic.is_empty:
+            if self.execution_backend != "inline":
+                backend.close()
+                raise ValueError(
+                    "elastic membership requires the inline execution backend "
+                    f"(got {backend.name!r})"
+                )
+            if policy.owns_replicas:
+                backend.close()
+                raise ValueError(
+                    f"elastic membership is incompatible with sync policy "
+                    f"{policy.name!r}: replica averaging over dynamic "
+                    f"membership is undefined"
+                )
         try:
             return self._run(
                 backend, policy, pipeline, prefetch_config, eviction_policy, cache_config
@@ -161,9 +204,15 @@ class AsyncClusterEngine:
         accumulators = setup.accumulators
 
         loop = EventLoop(record=self.record_events)
+        # Stress schedules materialize through the one ScheduleSpec seam.
         schedule = (
-            FailureSchedule(self.failures, world, cluster.config.seed)
+            self.failures.materialize(world, cluster.config.seed)
             if self.failures is not None
+            else None
+        )
+        elastic_schedule = (
+            self.elastic.materialize(world, cluster.config.seed)
+            if self.elastic is not None and not self.elastic.is_empty
             else None
         )
 
@@ -174,6 +223,44 @@ class AsyncClusterEngine:
         down = [False] * world
         pending_release = [False] * world
         total_minibatches = 0
+
+        # Elastic membership state.  member_active is the authoritative
+        # roster; it changes mid-run only under an elastic schedule, and the
+        # per-epoch scheduling state is derived from it at epoch start.
+        member_active = [True] * world
+        inflight = [False] * world           # a step-done event is in the loop
+        # Membership events landing mid-step defer past the in-flight step and
+        # replay in arrival order at its step-done ("leave"/"join" strings), so
+        # a leave→rejoin pair spanning one long step still detaches *and*
+        # reactivates instead of the rejoin being dropped as a no-op.
+        deferred: List[List[str]] = [[] for _ in range(world)]
+        rebalance_salts: Dict[int, int] = {}
+        tpm = cluster.config.trainers_per_machine
+        if elastic_schedule is not None:
+            for held_rank in elastic_schedule.initially_inactive:
+                member_active[held_rank] = False
+
+        # Consensus checkpointing: captured after every applied sync round
+        # whenever a recovery (failures) or membership change (elastic) could
+        # need it; None keeps the legacy apply path bit-identical.
+        checkpoint_store = (
+            CheckpointStore()
+            if schedule is not None or elastic_schedule is not None
+            else None
+        )
+        self.checkpoint_store = checkpoint_store
+        applied_rounds = [0]
+
+        if checkpoint_store is not None:
+
+            def apply_update(averaged) -> None:
+                backend.apply_update(averaged)
+                applied_rounds[0] += 1
+                now = max(t.clock.time for t in trainers) if trainers else 0.0
+                checkpoint_store.update(model, optimizer, applied_rounds[0], now)
+
+        else:
+            apply_update = backend.apply_update
 
         # Per-epoch state, rebound at each epoch start.
         state: Dict[str, object] = {}
@@ -227,6 +314,10 @@ class AsyncClusterEngine:
             starts: List[int] = []
             for e in batch:
                 rank = e.rank
+                if not state["active"][rank]:
+                    # The rank detached (elastic leave) after this ready
+                    # event was queued; never hand it to the policy.
+                    continue
                 if down[rank]:
                     # Unreachable under the shipped policies (a trainer can
                     # only fail during its own step-done, before any release),
@@ -276,6 +367,7 @@ class AsyncClusterEngine:
                 trainer_steps[out.rank] += 1
                 state["epoch_steps"][out.rank] += 1
                 total_minibatches += 1
+                inflight[out.rank] = True
                 grads = policy.process_step(out.rank, out.grads)
                 loop.push(
                     out.clock_time,
@@ -296,6 +388,7 @@ class AsyncClusterEngine:
 
         def on_step_done(ev: Event) -> None:
             rank, now = ev.rank, ev.time
+            inflight[rank] = False
             # Failure (if scheduled for the step that just finished) lands
             # *before* the policy reacts: the gradient still counts — the
             # compute completed — but the trainer goes dark before it can be
@@ -305,6 +398,15 @@ class AsyncClusterEngine:
                 if factor is not None:
                     fail(rank, now, factor * max(ev.payload["step_critical"], 1e-12))
             policy.on_step_done(ev.payload["contribution"], now)
+            if deferred[rank]:
+                # Elastic membership events that landed mid-step replay now,
+                # in arrival order: the contribution above still counted.
+                ops, deferred[rank] = deferred[rank], []
+                for op in ops:
+                    if op == "leave":
+                        detach(rank, now)
+                    else:
+                        activate(rank, now)
 
         def fail(rank: int, now: float, downtime: float) -> None:
             down[rank] = True
@@ -314,6 +416,18 @@ class AsyncClusterEngine:
             extras = sync_extras[rank]
             extras["failures"] = extras.get("failures", 0.0) + 1.0
             extras["downtime_s"] = extras.get("downtime_s", 0.0) + downtime
+            if checkpoint_store is not None and checkpoint_store.latest is not None:
+                # Recover from the last consensus state: numerically a no-op
+                # between sync rounds (the shared replica *is* consensus), but
+                # the provenance and the costed restore transfer are real.
+                ckpt = checkpoint_store.restore(model, optimizer)
+                restore_s = cluster.cost_model_for_machine(
+                    trainers[rank].machine
+                ).time_migration(ckpt.nbytes())
+                clock.advance(restore_s, "migration")
+                extras["restores"] = extras.get("restores", 0.0) + 1.0
+                extras["restored_from_step"] = float(ckpt.step)
+                extras["restore_s"] = extras.get("restore_s", 0.0) + restore_s
             loop.push(clock.time, "recover", rank)
 
         def on_recover(ev: Event) -> None:
@@ -323,11 +437,134 @@ class AsyncClusterEngine:
                 pending_release[rank] = False
                 schedule_ready(rank)
 
+        # ---------------- elastic membership handlers ----------------
+        def next_salt(machine: int) -> int:
+            rebalance_salts[machine] = rebalance_salts.get(machine, 0) + 1
+            return rebalance_salts[machine]
+
+        def rebalance_machine(machine: int, charge: bool = True) -> None:
+            """Re-split *machine*'s seed ownership across its active trainers.
+
+            With survivors on the machine, the partition is first brought
+            home (if a drain had moved it elsewhere) and the training seeds
+            re-split across the active local ranks; each receiving trainer
+            pays for its newly assigned seed rows through the cost model.
+            With the machine fully drained, its partition is adopted by the
+            lowest-indexed machine that still has an active trainer, and the
+            adopters pay for the KVStore payload (plus the shared cache tier
+            under the ``"warm"`` policy; ``"invalidate"`` drops it cold).
+            """
+            cache_policy = self.elastic.cache_policy
+            feature_dim = cluster.dataset.feature_dim
+            active_locals = [
+                lr for lr in range(tpm) if member_active[machine * tpm + lr]
+            ]
+            if active_locals:
+                home_bytes = cluster.migrate_partition(machine, machine, cache_policy)
+                moved = cluster.rebalance_seeds(
+                    machine, active_locals, salt=next_salt(machine)
+                )
+                cost = cluster.cost_model_for_machine(machine)
+                for i, lr in enumerate(active_locals):
+                    rank = machine * tpm + lr
+                    extras = sync_extras[rank]
+                    extras["rebalances"] = extras.get("rebalances", 0.0) + 1.0
+                    if not charge:
+                        continue
+                    nbytes = moved.get(rank, 0) * feature_dim * BYTES_PER_FEATURE
+                    if i == 0:
+                        nbytes += home_bytes
+                    if nbytes <= 0:
+                        continue
+                    migration_s = cost.time_migration(nbytes)
+                    trainers[rank].clock.advance(migration_s, "migration")
+                    extras["migration_bytes"] = (
+                        extras.get("migration_bytes", 0.0) + float(nbytes)
+                    )
+                    extras["migration_s"] = (
+                        extras.get("migration_s", 0.0) + migration_s
+                    )
+                return
+            host = next(
+                (
+                    m
+                    for m in range(cluster.config.num_machines)
+                    if any(member_active[m * tpm + lr] for lr in range(tpm))
+                ),
+                None,
+            )
+            if host is None:
+                return  # every rank left; nothing can adopt the partition
+            moved_bytes = cluster.migrate_partition(machine, host, cache_policy)
+            if moved_bytes <= 0:
+                return
+            host_actives = [
+                host * tpm + lr for lr in range(tpm) if member_active[host * tpm + lr]
+            ]
+            if charge:
+                migration_s = cluster.cost_model_for_machine(host).time_migration(
+                    moved_bytes
+                )
+                for rank in host_actives:
+                    trainers[rank].clock.advance(migration_s, "migration")
+                    extras = sync_extras[rank]
+                    extras["migration_s"] = (
+                        extras.get("migration_s", 0.0) + migration_s
+                    )
+                extras = sync_extras[host_actives[0]]
+                extras["migration_bytes"] = (
+                    extras.get("migration_bytes", 0.0) + float(moved_bytes)
+                )
+
+        def detach(rank: int, now: float) -> None:
+            member_active[rank] = False
+            extras = sync_extras[rank]
+            extras["leaves"] = extras.get("leaves", 0.0) + 1.0
+            if not state["epoch_done"][rank]:
+                mark_exhausted(rank)
+            else:
+                state["active"][rank] = False
+            loop.push(now, "rebalance", rank, machine=trainers[rank].machine)
+
+        def activate(rank: int, now: float) -> None:
+            member_active[rank] = True
+            trainers[rank].clock.advance_to(now, "idle")
+            extras = sync_extras[rank]
+            extras["joins"] = extras.get("joins", 0.0) + 1.0
+            # Scheduling picks the rank up at the next epoch start; the seed
+            # re-split happens now so the next epoch's shuffle sees it.
+            loop.push(now, "rebalance", rank, machine=trainers[rank].machine)
+
+        def on_join(ev: Event) -> None:
+            rank = ev.rank
+            if member_active[rank]:
+                if deferred[rank]:
+                    # A leave is deferred past the in-flight step; the rejoin
+                    # queues behind it and replays at the same step-done.
+                    deferred[rank].append("join")
+                return
+            activate(rank, ev.time)
+
+        def on_leave(ev: Event) -> None:
+            rank = ev.rank
+            if not member_active[rank]:
+                return
+            if inflight[rank]:
+                deferred[rank].append("leave")
+            else:
+                detach(rank, ev.time)
+
+        def on_rebalance(ev: Event) -> None:
+            rebalance_machine(ev.payload["machine"])
+
         handlers = {
             "step-ready": on_step_ready,
             "step-done": on_step_done,
             "recover": on_recover,
             "fail": lambda ev: None,
+            "join": on_join,
+            "leave": on_leave,
+            "rebalance": on_rebalance,
         }
 
         ctx = SyncContext(
@@ -345,9 +582,24 @@ class AsyncClusterEngine:
             record_step=record_step,
             start_step=start_step,
             start_steps=start_steps,
-            apply_update=backend.apply_update,
+            apply_update=apply_update,
         )
         policy.bind(ctx)
+
+        # ---------------- elastic setup ----------------
+        if elastic_schedule is not None:
+            # Initial holdout: strip the held-out ranks' seeds and hand them
+            # to the active trainers (uncharged — this is the starting
+            # deployment, not a mid-run migration), adopting any fully
+            # drained machine's partition onto a survivor.
+            for machine in range(cluster.config.num_machines):
+                machine_ranks = range(machine * tpm, (machine + 1) * tpm)
+                if any(not member_active[r] for r in machine_ranks):
+                    rebalance_machine(machine, charge=False)
+            # The whole membership timeline lands in the loop up front; the
+            # heap interleaves it with step events by simulated time.
+            for event_time, kind, rank in elastic_schedule.events:
+                loop.push(event_time, kind, rank)
 
         # ---------------- epoch loop ----------------
         epoch_records: List[EpochRecord] = []
@@ -356,14 +608,16 @@ class AsyncClusterEngine:
         for epoch in range(config.epochs):
             backend.begin_epoch()
             state = {
-                "active": [True] * world,
-                "epoch_done": [False] * world,
+                "active": list(member_active),
+                "epoch_done": [not active for active in member_active],
                 "epoch_steps": [0] * world,
                 "losses": [],
                 "correct": 0,
                 "seen": 0,
             }
-            policy.on_epoch_start(list(range(world)))
+            policy.on_epoch_start(
+                [rank for rank in range(world) if member_active[rank]]
+            )
             for rank in range(world):
                 schedule_ready(rank)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.distributed.cluster import SimCluster
-from repro.events.schedule import FailureSpec
+from repro.events.schedule import ElasticSpec, FailureSpec
 from repro.events.sync import SYNC_POLICIES
 from repro.training.async_engine import AsyncClusterEngine
 from repro.training.cluster_engine import ClusterEngine
@@ -53,6 +53,15 @@ def sync_policy_options(
     if resolved == "local-sgd" and sync_period is not None:
         options["sync_period"] = int(sync_period)
     return options
+
+
+def _reject_elastic(elastic: Optional[ElasticSpec], engine: str) -> None:
+    if elastic is not None and not elastic.is_empty:
+        raise ValueError(
+            f"elastic membership requires the event-driven backend "
+            f"(engine='async'); got a non-empty ElasticSpec with "
+            f"engine={engine!r}"
+        )
 
 
 def _reject_serving(serving, engine: str) -> None:
@@ -87,6 +96,7 @@ def _build_lockstep(
     staleness: Optional[int] = None,
     sync_period: Optional[int] = None,
     failures: Optional[FailureSpec] = None,
+    elastic: Optional[ElasticSpec] = None,
     serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
     execution_backend: str = "inline",
@@ -102,6 +112,7 @@ def _build_lockstep(
         raise ValueError(
             "transient failures require the event-driven backend (engine='async')"
         )
+    _reject_elastic(elastic, "lockstep")
     _reject_serving(serving, "lockstep")
     return ClusterEngine(
         cluster,
@@ -121,6 +132,7 @@ def _build_async(
     staleness: Optional[int] = None,
     sync_period: Optional[int] = None,
     failures: Optional[FailureSpec] = None,
+    elastic: Optional[ElasticSpec] = None,
     serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
     execution_backend: str = "inline",
@@ -134,6 +146,7 @@ def _build_async(
         sync=sync,
         sync_options=sync_policy_options(sync, staleness, sync_period),
         failures=failures,
+        elastic=elastic,
         record_events=record_events,
         execution_backend=execution_backend,
         workers=workers,
@@ -149,6 +162,7 @@ def _build_serving(
     staleness: Optional[int] = None,
     sync_period: Optional[int] = None,
     failures: Optional[FailureSpec] = None,
+    elastic: Optional[ElasticSpec] = None,
     serving: Optional["ServingSpec"] = None,
     record_events: bool = False,
     execution_backend: str = "inline",
@@ -164,6 +178,7 @@ def _build_serving(
         )
     if failures is not None:
         raise ValueError("transient failures are not modeled by the serving engine")
+    _reject_elastic(elastic, "serving")
     if SYNC_POLICIES.resolve(sync) != "allreduce-barrier":
         raise ValueError(
             "gradient sync policies do not apply to inference serving "

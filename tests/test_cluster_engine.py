@@ -200,10 +200,11 @@ class TestHeterogeneousCluster:
 class TestScenarioRegistry:
     def test_registered_names(self):
         assert available_scenarios() == [
-            "async-staleness", "cache-churn", "congested-link",
-            "diurnal-cache-drift", "flash-crowd-burst", "hot-halo",
-            "hot-set-drift", "skewed-partitions", "steady-poisson",
-            "straggler-machine", "trainer-flaky", "uniform",
+            "async-staleness", "cache-churn", "cascading-failure",
+            "congested-link", "diurnal-cache-drift", "flash-crowd-burst",
+            "hot-halo", "hot-set-drift", "rolling-upgrade", "scale-out-burst",
+            "skewed-partitions", "steady-poisson", "straggler-machine",
+            "trainer-flaky", "uniform",
         ]
         assert available_scenarios(engine="serving") == [
             "diurnal-cache-drift", "flash-crowd-burst", "steady-poisson",

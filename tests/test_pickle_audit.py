@@ -19,7 +19,7 @@ from repro.cache.config import CacheConfig
 from repro.core.config import PrefetchConfig
 from repro.distributed.cluster import ClusterConfig
 from repro.distributed.cost_model import CostModel
-from repro.events.schedule import CongestionSpec, FailureSpec
+from repro.events.schedule import CongestionSpec, ElasticSpec, FailureSpec
 from repro.graph.csr import SharedCSRHandle
 from repro.graph.datasets import DatasetSpec, load_dataset
 from repro.scenarios import SCENARIOS
@@ -44,6 +44,10 @@ SPEC_OBJECTS = {
     "cost-model-gpu-scaled": CostModel.preset("gpu").scaled(rpc_latency_s=2.0),
     "failure-spec": FailureSpec(rate=0.05),
     "congestion-spec": CongestionSpec(),
+    "elastic-spec": ElasticSpec(
+        initially_inactive=(1, 3), joins=((1, 1.0e-3), (3, 1.0e-3)),
+        leaves=((0, 2.0e-3),), cache_policy="warm",
+    ),
     "serving-spec": ServingSpec(),
     "dataset-spec": load_dataset("arxiv", scale=0.1, seed=0).spec,
     "shared-csr-handle": SharedCSRHandle(
@@ -69,6 +73,36 @@ def test_dataset_spec_type():
 def test_registered_scenarios_round_trip(name):
     scenario = SCENARIOS.build(name)
     assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+
+def test_checkpoint_artifacts_round_trip():
+    """Every checkpoint artifact survives pickling (restore-on-recovery payloads)."""
+    import numpy as np
+
+    from repro.training.checkpoint import ClusterCheckpoint, TrainerCheckpoint
+
+    cluster_ckpt = ClusterCheckpoint(
+        step=3,
+        time_s=1.5e-3,
+        model_state={"w0": np.arange(6, dtype=np.float64).reshape(2, 3)},
+        optimizer_state={"velocity": {"w0": np.ones((2, 3))}},
+    )
+    trainer_ckpt = TrainerCheckpoint(
+        rank=1,
+        clock_state={"time": 2.0e-3, "components": {"compute": 1.0e-3}},
+        loader_state={
+            "step": 4,
+            "sampler_rng_state": {"state": 1},
+            "seed_iterator": {
+                "epochs_started": 1, "rng_state": {"state": 2},
+                "order": np.arange(8), "cursor": 4, "limit": 8, "mid_epoch": True,
+            },
+        },
+    )
+    for obj in (cluster_ckpt, trainer_ckpt):
+        clone = pickle.loads(pickle.dumps(obj))
+        assert clone == obj
+        assert type(clone) is type(obj)
 
 
 def test_trainer_task_round_trips(tmp_path):
