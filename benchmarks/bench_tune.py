@@ -1,0 +1,168 @@
+"""Tuning benchmark: the sweep's best config must beat the scenario default.
+
+Runs ``repro.tuning`` end to end on one training and one serving scenario and
+records, for each leg, the baseline score (the untouched scenario recipe),
+the tuner's best score, and the winning overrides:
+
+* **training** — ``straggler-machine`` under ``critical-path-s``: the sweep
+  over engine/sync/staleness must rediscover that bounded-staleness execution
+  hides the 2.5x straggler (the PR 5 result, now found by search instead of
+  by hand);
+* **serving** — ``flash-crowd-burst`` under ``serving-p99-ms``: the sweep
+  over worker count and hot-tier eviction must find that extra capacity
+  absorbs the burst's queueing tail.
+
+Both legs assert a strict improvement; the committed gains are re-checked by
+``check_perf_regression.py`` against the trajectory.  The script also runs
+the training sweep twice at the same seed and asserts the ranked reports and
+the frozen preset files are byte-identical — the determinism contract
+``repro tune`` advertises, enforced on every CI run.
+
+All scores are simulated times — deterministic given (seed, config),
+machine-independent, so the gate holds the gains to a tight band.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py --merge-into BENCH_hotpath.json
+
+``--merge-into`` updates the named trajectory file in place (adding/replacing
+its ``"tuning"`` section); ``--out`` writes a standalone JSON instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.scenarios import SCENARIOS
+from repro.tuning import Preset, SearchSpace, TuneRunner
+
+
+def tune_leg(scenario, objective: str, space: SearchSpace, seed: int,
+             scale=None, epochs=None):
+    runner = TuneRunner(scenario, objective=objective, space=space, seed=seed,
+                        scale=scale, epochs=epochs)
+    return runner.run()
+
+
+def leg_entry(report) -> dict:
+    best = report.best
+    return {
+        "scenario": report.scenario,
+        "objective": report.objective,
+        "direction": report.direction,
+        "baseline_score": report.baseline_score,
+        "best_score": best.score,
+        "best_overrides": dict(best.overrides),
+        "improvement_percent": best.improvement_percent,
+        "candidates_evaluated": len(report.evaluated),
+        "spec_hash": report.spec_hash,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SCALE", 0.05)))
+    parser.add_argument("--epochs", type=int, default=1,
+                        help="epochs for every training-leg evaluation")
+    parser.add_argument("--requests", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_REQUESTS", 256)))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/results/BENCH_tune.json"),
+                        help="standalone output file (ignored with --merge-into)")
+    parser.add_argument("--merge-into", type=Path, default=None,
+                        help="merge the tuning section into this trajectory file")
+    args = parser.parse_args(argv)
+
+    training_space = SearchSpace({
+        "engine": ("async",),
+        "sync": ("allreduce-barrier", "bounded-staleness"),
+        "staleness": (1, 2),
+    })
+    serving_space = SearchSpace({
+        "trainers_per_machine": (2, 4),
+        "cache.eviction": ("lru", "clock"),
+    })
+
+    print(f"[tune] training leg: straggler-machine / critical-path-s "
+          f"(scale={args.scale} epochs={args.epochs} seed={args.seed})")
+    training = tune_leg("straggler-machine", "critical-path-s", training_space,
+                        seed=args.seed, scale=args.scale, epochs=args.epochs)
+    print(training.summary())
+
+    serving_base = SCENARIOS.build("flash-crowd-burst")
+    serving_base = serving_base.with_overrides(
+        scale=args.scale,
+        serving=serving_base.serving.with_overrides(num_requests=args.requests),
+    )
+    print(f"\n[tune] serving leg: flash-crowd-burst / serving-p99-ms "
+          f"(scale={args.scale} requests={args.requests} seed={args.seed})")
+    serving = tune_leg(serving_base, "serving-p99-ms", serving_space,
+                       seed=args.seed)
+    print(serving.summary())
+
+    # Determinism contract: a same-seed re-run must reproduce the ranked
+    # report and the frozen preset byte for byte.
+    rerun = tune_leg("straggler-machine", "critical-path-s", training_space,
+                     seed=args.seed, scale=args.scale, epochs=args.epochs)
+    reports_identical = training.canonical_json() == rerun.canonical_json()
+    presets_identical = (
+        Preset.from_tune(training, "bench-check").to_json()
+        == Preset.from_tune(rerun, "bench-check").to_json()
+    )
+    bit_identical = reports_identical and presets_identical
+    print(f"\nsame-seed re-run bit-identical: report={reports_identical} "
+          f"preset={presets_identical}")
+
+    payload = {
+        "benchmark": "tune",
+        "generated_by": "benchmarks/bench_tune.py",
+        "config": {
+            "scale": args.scale,
+            "epochs": args.epochs,
+            "requests": args.requests,
+            "seed": args.seed,
+        },
+        "training": leg_entry(training),
+        "serving": leg_entry(serving),
+        "reports_bit_identical": bit_identical,
+    }
+
+    if args.merge_into is not None:
+        trajectory = {}
+        if args.merge_into.exists():
+            trajectory = json.loads(args.merge_into.read_text())
+        trajectory["tuning"] = payload
+        args.merge_into.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+        print(f"merged tuning section into {args.merge_into}")
+    else:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+
+    failed = False
+    for label, leg in (("training", payload["training"]),
+                       ("serving", payload["serving"])):
+        gain = leg["improvement_percent"]
+        if gain is None or gain <= 0:
+            print(f"FAIL: {label} leg — the tuner's best config does not beat the "
+                  f"scenario default on {leg['objective']} "
+                  f"(improvement {gain})", file=sys.stderr)
+            failed = True
+        else:
+            print(f"{label} gate ok: best beats default by {gain:+.2f}% "
+                  f"on {leg['objective']}")
+    if not bit_identical:
+        print("FAIL: same-seed tune runs are not byte-identical — the sweep "
+              "has picked up nondeterminism", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,7 +74,8 @@ def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
                reduction_abs: float, hit_abs: float, min_hit_gain: float,
                min_async_reduction: float = 0.5,
                latency_ratio: float = 1.05,
-               min_pool_speedup: float = 1.0) -> List[Check]:
+               min_pool_speedup: float = 1.0,
+               min_tune_gain: float = 0.5) -> List[Check]:
     checks: List[Check] = []
 
     # ---- sampler speedup: machine-dependent, wide band + hard floor ----
@@ -241,6 +242,34 @@ def run_checks(baseline: dict, fresh: dict, speedup_ratio: float,
             "the band is a real hot-path regression",
         ))
 
+    # ---- tuning: the sweep's best must keep beating the scenario default ----
+    identical = _get(fresh, "tuning.reports_bit_identical")
+    if identical is not None:
+        checks.append(Check(
+            "tune.same_seed_runs_bit_identical", None,
+            1.0 if identical else 0.0, 1.0, bool(identical),
+            "hard invariant: same-seed tune runs must produce byte-identical "
+            "ranked reports and preset files",
+        ))
+    for leg in ("training", "serving"):
+        path = f"tuning.{leg}.improvement_percent"
+        base, now = _get(baseline, path), _get(fresh, path)
+        if now is None:
+            continue
+        checks.append(Check(
+            f"tune.{leg}.best_beats_default", None, now, min_tune_gain,
+            now >= min_tune_gain,
+            "hard floor (percent): the tuner's best config must beat the "
+            "scenario default on its declared objective",
+        ))
+        if base is not None:
+            threshold = base - reduction_abs
+            checks.append(Check(
+                f"tune.{leg}.improvement_vs_baseline", base, now, threshold,
+                now >= threshold,
+                "simulated-score ratio: identical config must reproduce the gain",
+            ))
+
     # ---- elasticity: simulated times + deterministic migration ledger ----
     path = "elasticity.post_join_improvement_percent"
     base, now = _get(baseline, path), _get(fresh, path)
@@ -288,6 +317,8 @@ def report_only_metrics(fresh: dict) -> dict:
             fresh, "elasticity.elastic_epoch_times_s"
         ),
         "elasticity.held_epoch_times_s": _get(fresh, "elasticity.held_epoch_times_s"),
+        "tuning.training.best_overrides": _get(fresh, "tuning.training.best_overrides"),
+        "tuning.serving.best_overrides": _get(fresh, "tuning.serving.best_overrides"),
     }
 
 
@@ -320,6 +351,10 @@ def main(argv=None) -> int:
                         help="hard floor for the process-pool wall-clock speedup "
                              "over inline at max workers (only gated when the "
                              "producing run had >= 2 CPU cores)")
+    parser.add_argument("--min-tune-gain", type=float, default=0.5,
+                        help="hard floor (percent) for the tuner's best-config "
+                             "improvement over the scenario default on both "
+                             "bench_tune legs")
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -338,6 +373,7 @@ def main(argv=None) -> int:
         min_async_reduction=args.min_async_reduction,
         latency_ratio=args.latency_tolerance,
         min_pool_speedup=args.min_pool_speedup,
+        min_tune_gain=args.min_tune_gain,
     )
     failed = [c for c in checks if not c.passed]
     for check in checks:

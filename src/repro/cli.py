@@ -29,6 +29,13 @@ Commands
     shape for every scenario.
 ``sweep``
     Grid-search (f_h, γ, Δ) and print the Table IV-style optimum.
+``tune``
+    Sweep a scenario's full knob surface (sampler, rpc, cache policies,
+    engine/sync, serving parameters — any :data:`repro.tuning.AXES` axis)
+    with a grid or seeded-random strategy, rank candidates by an
+    :data:`repro.tuning.OBJECTIVES` score, and optionally freeze the winner
+    as a ``presets/*.json`` preset; ``repro run --preset NAME`` replays it
+    (CLI flags beat the preset, the preset beats the scenario recipe).
 ``explain``
     Replay a scenario with the scored cache policies and print why one node
     was admitted, rejected, or evicted — every decision with its score,
@@ -80,6 +87,15 @@ from repro.training.engines import ENGINES
 from repro.training.pipelines import PIPELINES
 from repro.training.sweep import find_optimal, run_parameter_sweep
 from repro.training.trace import list_experiments, save_trace
+from repro.tuning import (
+    OBJECTIVES,
+    SEARCH_STRATEGIES,
+    Preset,
+    SearchSpace,
+    TuneRunner,
+    load_preset,
+)
+from repro.tuning.space import parse_axis_values
 from repro.utils.logging_utils import format_table
 
 
@@ -233,6 +249,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--evaluate", action="store_true", help="score validation/test accuracy")
     run.add_argument("--trace-dir", type=Path, default=None, help="write JSON traces here")
+    run.add_argument(
+        "--preset", default=None, metavar="NAME",
+        help="run a tuned configuration frozen by `repro tune --emit-preset` "
+             "(a committed presets/*.json name or an explicit path). The preset "
+             "supplies the scenario and its winning overrides; implies --cluster. "
+             "Explicit flags still win: CLI beats preset beats scenario recipe",
+    )
+    run.add_argument(
+        "--presets-dir", type=Path, default=None, dest="presets_dir",
+        help="directory to resolve --preset names in (default: the repository's "
+             "presets/)",
+    )
 
     serve = sub.add_parser("serve", help="run an online-inference serving scenario")
     serve.add_argument(
@@ -314,6 +342,64 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--gammas", type=float, nargs="+", default=[0.95, 0.995])
     sweep.add_argument("--deltas", type=int, nargs="+", default=[8, 64])
     sweep.add_argument("--seed", type=int, default=0)
+
+    tune = sub.add_parser(
+        "tune",
+        help="sweep a scenario's knob surface, rank configurations by an "
+             "objective, and optionally freeze the winner as a preset",
+    )
+    tune.add_argument(
+        "--scenario", default="uniform", choices=available_scenarios(),
+        help="scenario whose knob surface is searched (default: uniform)",
+    )
+    tune.add_argument(
+        "--objective", default=None, choices=OBJECTIVES.names(),
+        help="score to rank candidates by (default: serving-p99-ms for serving "
+             "scenarios, critical-path-s otherwise)",
+    )
+    tune.add_argument(
+        "--strategy", default="grid", choices=SEARCH_STRATEGIES.names(),
+        help="candidate ordering: 'grid' walks the exact cartesian product in "
+             "axis order (seed-independent); 'random' is a seeded permutation "
+             "of the same grid (budget >= space size still covers every point)",
+    )
+    tune.add_argument(
+        "--budget", type=int, default=None,
+        help="max candidates to evaluate (default: the whole space)",
+    )
+    tune.add_argument(
+        "--axis", action="append", default=None, metavar="NAME=V1[,V2...]",
+        help="add a search axis (repeatable; replaces the scenario's default "
+             "space). Axis names are the AXES keys: scenario fields like "
+             "'sync', 'staleness', 'rpc' or dotted sub-config fields like "
+             "'cache.eviction', 'serving.rate_rps'; values are validated "
+             "eagerly against the owning registry or numeric type",
+    )
+    tune.add_argument("--scale", type=float, default=None,
+                      help="dataset scale for every evaluation (default: the scenario's)")
+    tune.add_argument("--epochs", type=int, default=None,
+                      help="epochs for every evaluation (default: the scenario's)")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="seed shared by every candidate run and the random strategy")
+    tune.add_argument(
+        "--parallel", type=int, default=1,
+        help="evaluate candidates across this many worker processes "
+             "(reports are bit-identical to the serial run)",
+    )
+    tune.add_argument(
+        "--emit-preset", default=None, metavar="NAME", dest="emit_preset",
+        help="freeze the winning configuration as <presets-dir>/NAME.json "
+             "with full sweep provenance",
+    )
+    tune.add_argument(
+        "--presets-dir", type=Path, default=None, dest="presets_dir",
+        help="where --emit-preset writes (default: the repository's presets/)",
+    )
+    tune.add_argument(
+        "--json", action="store_true",
+        help="emit the full ranked TuneReport as canonical JSON (byte-stable "
+             "for a fixed scenario/space/objective/strategy/budget/seed)",
+    )
     return parser
 
 
@@ -423,15 +509,23 @@ def _reject_cacheless_pipeline(pipeline, cache_config) -> bool:
     return False
 
 
-def _cmd_run_cluster(args: argparse.Namespace) -> int:
+def _cmd_run_cluster(
+    args: argparse.Namespace,
+    base_scenario=None,
+) -> int:
     """``repro run --cluster --scenario <name>``: scenario-driven cluster run.
 
     The scenario recipe is the source of every default; only flags the user
-    actually passed (non-``None``) override it.
+    actually passed (non-``None``) override it.  ``base_scenario`` (the
+    ``--preset`` path) replaces the registry lookup with an already-overridden
+    scenario, keeping the precedence order: CLI flags beat the preset, the
+    preset beats the scenario recipe.
     """
     import dataclasses
 
-    scenario = SCENARIOS.build(args.scenario or "uniform").with_overrides(
+    if base_scenario is None:
+        base_scenario = SCENARIOS.build(args.scenario or "uniform")
+    scenario = base_scenario.with_overrides(
         dataset=args.dataset,
         scale=args.scale,
         num_machines=args.machines,
@@ -727,6 +821,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             or args.staleness is not None or args.sync_period is not None
             or args.execution_backend is not None or args.workers is not None):
         args.cluster = True
+    if args.preset is not None:
+        # A preset is a frozen (scenario, overrides) bundle: apply it first,
+        # then let explicitly passed flags override — CLI beats preset beats
+        # scenario recipe.
+        try:
+            preset = load_preset(args.preset, presets_dir=args.presets_dir)
+            base = preset.apply()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.scenario is not None and SCENARIOS.resolve(args.scenario) != preset.scenario:
+            print(f"error: --scenario {args.scenario!r} conflicts with preset "
+                  f"{preset.name!r} (frozen for scenario {preset.scenario!r}); "
+                  f"drop --scenario or pick a matching preset", file=sys.stderr)
+            return 2
+        overrides = ", ".join(f"{k}={v}" for k, v in preset.overrides) or "(none)"
+        print(f"preset '{preset.name}': scenario {preset.scenario}, "
+              f"objective {preset.objective}, overrides {overrides}\n")
+        return _cmd_run_cluster(args, base_scenario=base)
     if args.cluster:
         return _cmd_run_cluster(args)
     if args.scenario is not None:
@@ -946,6 +1059,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """``repro tune``: sweep a scenario's knobs and rank configurations.
+
+    The sweep is deterministic end to end — candidate order is fixed by
+    (strategy, seed), every evaluation runs at the shared seed, and ranking
+    ties break on the candidate's canonical JSON — so ``--json`` output and
+    ``--emit-preset`` files are byte-identical across same-seed re-runs.
+    """
+    space = None
+    if args.axis:
+        axes = {}
+        try:
+            for item in args.axis:
+                name, sep, values = item.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"--axis expects NAME=V1[,V2...], got {item!r}"
+                    )
+                canonical, parsed = parse_axis_values(name.strip(), values)
+                if canonical in axes:
+                    raise ValueError(f"axis {canonical!r} given more than once")
+                axes[canonical] = parsed
+            space = SearchSpace(axes)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        runner = TuneRunner(
+            scenario=args.scenario, objective=args.objective, space=space,
+            strategy=args.strategy, budget=args.budget, seed=args.seed,
+            scale=args.scale, epochs=args.epochs, parallelism=args.parallel,
+        )
+        report = runner.run()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.canonical_json(), end="")
+    else:
+        print(report.summary())
+    if args.emit_preset:
+        try:
+            preset = Preset.from_tune(report, args.emit_preset)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        path = preset.save(args.presets_dir)
+        print(f"\npreset written to {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (returns a process exit code)."""
     args = build_parser().parse_args(argv)
@@ -961,6 +1125,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "explain":
         return _cmd_explain(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -148,17 +148,24 @@ class ClusterScenario:
             for k, v in overrides.items()
             if v is not None
         }
-        if "num_machines" in filtered and "compute_multipliers" not in filtered:
+        if "num_machines" in filtered:
             # Keep per-machine vectors aligned when the topology is resized.
+            # Resizing also applies when multipliers arrive in the *same*
+            # call: otherwise chained overrides (scenario -> preset -> CLI)
+            # and the merged equivalent would disagree — the three-layer
+            # merge must compose associatively.
             filtered["compute_multipliers"] = self._resize_multipliers(
-                int(filtered["num_machines"])
+                int(filtered["num_machines"]),
+                filtered.get("compute_multipliers", self.compute_multipliers),
             )
         return replace(self, **filtered)
 
-    def _resize_multipliers(self, num_machines: int) -> Optional[Tuple[float, ...]]:
-        if self.compute_multipliers is None:
+    def _resize_multipliers(
+        self, num_machines: int, multipliers
+    ) -> Optional[Tuple[float, ...]]:
+        if multipliers is None:
             return None
-        current = tuple(self.compute_multipliers)
+        current = tuple(multipliers)
         if len(current) >= num_machines:
             return current[:num_machines]
         return current + (1.0,) * (num_machines - len(current))

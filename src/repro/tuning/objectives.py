@@ -1,0 +1,137 @@
+"""Objectives: scalar scores extracted from run reports, with a direction.
+
+Each objective reads one field off the report a candidate run already
+produces — :class:`~repro.training.cluster_engine.ClusterReport` for training
+engines, :class:`~repro.serving.report.ServingReport` for the serving engine —
+so tuning adds no new instrumentation.  An objective that cannot read its
+surface from the report it is given (e.g. ``serving-p99-ms`` on a training
+run, or ``cache-hit-rate`` on a run with no cache in the data path) raises
+``ValueError`` rather than returning a fake score; the runner records the
+candidate as invalid instead of ranking it.
+"""
+
+from __future__ import annotations
+
+from repro.utils.registry import Registry
+
+OBJECTIVES = Registry("objective")
+
+
+class Objective:
+    """Base objective: a named, directed scalar read off a run report.
+
+    ``direction`` is ``"min"`` (lower is better: times, latencies, violation
+    rates) or ``"max"`` (higher is better: hit rates).  Subclasses implement
+    :meth:`score`; ranking and improvement math live here so every objective
+    orders candidates the same way.
+    """
+
+    name: str = ""
+    direction: str = "min"
+    units: str = ""
+    description: str = ""
+
+    def score(self, report) -> float:
+        """The scalar value of this objective for *report*."""
+        raise NotImplementedError
+
+    def better(self, a: float, b: float) -> bool:
+        """True when score *a* beats score *b* under this direction."""
+        return a < b if self.direction == "min" else a > b
+
+    def sort_key(self, value: float) -> float:
+        """A key under which ascending order is best-first."""
+        return value if self.direction == "min" else -value
+
+    def improvement_percent(self, score: float, baseline: float) -> float:
+        """Signed improvement of *score* over *baseline*, in percent.
+
+        Positive means *score* is better; a zero baseline yields 0.0 (no
+        meaningful relative gain).
+        """
+        if baseline == 0:
+            return 0.0
+        if self.direction == "min":
+            return 100.0 * (baseline - score) / abs(baseline)
+        return 100.0 * (score - baseline) / abs(baseline)
+
+
+def _require(report, attr: str, objective: str):
+    if not hasattr(report, attr):
+        raise ValueError(
+            f"objective {objective!r} needs a report with {attr!r}; "
+            f"got {type(report).__name__}"
+        )
+    return getattr(report, attr)
+
+
+@OBJECTIVES.register("critical-path-s", aliases=("critical-path", "makespan"))
+class CriticalPathObjective(Objective):
+    """Minimize the cluster critical-path time (seconds of simulated epoch)."""
+
+    name = "critical-path-s"
+    direction = "min"
+    units = "s"
+    description = "cluster critical-path time over the run (lower is better)"
+
+    def score(self, report) -> float:
+        """``ClusterReport.critical_path_time_s``."""
+        return float(_require(report, "critical_path_time_s", self.name))
+
+
+@OBJECTIVES.register("cache-hit-rate", aliases=("hit-rate",))
+class CacheHitRateObjective(Objective):
+    """Maximize the mean cache hit rate across trainers (or requests)."""
+
+    name = "cache-hit-rate"
+    direction = "max"
+    units = "fraction"
+    description = "mean cache hit rate (higher is better)"
+
+    def score(self, report) -> float:
+        """``mean_hit_rate`` — both report kinds expose it; None is invalid."""
+        rate = _require(report, "mean_hit_rate", self.name)
+        if rate is None:
+            raise ValueError(
+                f"objective {self.name!r}: run produced no cache statistics "
+                f"(no cache in the data path)"
+            )
+        return float(rate)
+
+
+@OBJECTIVES.register("serving-p99-ms", aliases=("p99", "p99-ms"))
+class ServingP99Objective(Objective):
+    """Minimize the p99 request latency of a serving run."""
+
+    name = "serving-p99-ms"
+    direction = "min"
+    units = "ms"
+    description = "serving p99 request latency (lower is better)"
+
+    def score(self, report) -> float:
+        """``ServingReport.latency_ms()['p99']``."""
+        latency = _require(report, "latency_ms", self.name)
+        return float(latency()["p99"])
+
+
+@OBJECTIVES.register("slo-violation-rate", aliases=("slo",))
+class SloViolationObjective(Objective):
+    """Minimize the fraction of serving requests that miss their SLO."""
+
+    name = "slo-violation-rate"
+    direction = "min"
+    units = "fraction"
+    description = "fraction of requests over the latency SLO (lower is better)"
+
+    def score(self, report) -> float:
+        """``ServingReport.slo_violation_rate``."""
+        return float(_require(report, "slo_violation_rate", self.name))
+
+
+def default_objective(scenario) -> str:
+    """The natural objective for a scenario: p99 for serving, critical path else."""
+    from repro.training.engines import ENGINES
+
+    if ENGINES.resolve(scenario.engine) == "serving":
+        return "serving-p99-ms"
+    return "critical-path-s"

@@ -26,6 +26,7 @@ from repro.scenarios import SCENARIOS
 from repro.serving.arrivals import ServingSpec
 from repro.training.backends import TrainerTask
 from repro.training.config import TrainConfig
+from repro.tuning import Preset
 
 SPEC_OBJECTS = {
     "cluster-config": ClusterConfig(
@@ -54,6 +55,12 @@ SPEC_OBJECTS = {
         indptr_path="/tmp/x_indptr.npy", indices_path="/tmp/x_indices.npy",
         num_nodes=8,
     ),
+    "tune-preset": Preset(
+        name="audit", scenario="straggler-machine",
+        overrides=(("engine", "async"), ("sync", "bounded-staleness")),
+        objective="critical-path-s", score=0.0044, baseline_score=0.0047,
+        improvement_percent=7.0, seed=0, strategy="grid", spec_hash="abc123",
+    ),
 }
 
 
@@ -67,6 +74,31 @@ def test_spec_round_trips(name):
 
 def test_dataset_spec_type():
     assert isinstance(SPEC_OBJECTS["dataset-spec"], DatasetSpec)
+
+
+def test_tune_report_round_trips():
+    """A ranked TuneReport (candidates and all) survives pickling."""
+    from repro.tuning.runner import CandidateResult, TuneReport
+
+    report = TuneReport(
+        scenario="straggler-machine", objective="critical-path-s",
+        direction="min", strategy="grid", budget=None, seed=0,
+        scale=0.05, epochs=1,
+        space=(("sync", ("allreduce-barrier", "bounded-staleness")),),
+        baseline_score=0.0047,
+        evaluated=((("sync", "allreduce-barrier"),), (("sync", "bounded-staleness"),)),
+        candidates=(
+            CandidateResult(rank=1, overrides=(("sync", "bounded-staleness"),),
+                            score=0.0044, improvement_percent=7.0),
+            CandidateResult(rank=2, overrides=(("sync", "allreduce-barrier"),),
+                            score=0.0047, improvement_percent=0.0),
+        ),
+        spec_hash="abc123",
+    )
+    clone = pickle.loads(pickle.dumps(report))
+    assert clone == report
+    assert clone.best == report.candidates[0]
+    assert clone.canonical_json() == report.canonical_json()
 
 
 @pytest.mark.parametrize("name", SCENARIOS.names())
